@@ -1,0 +1,95 @@
+"""Extension — transactional update workloads (§3).
+
+Measures throughput and abort behaviour of the 2PL + WAL + 2PC stack
+as the write fraction grows: pure reads need no commit protocol, while
+update-heavy mixes pay for prepares, log forces, and invalidations.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import SystemConfig
+from repro.experiments.reporting import format_table
+from repro.txn import DeadlockError, TransactionManager
+
+WRITE_FRACTIONS = (0.0, 0.2, 0.5)
+TRANSACTIONS = 150
+PAGES_PER_TXN = 3
+HOT_PAGES = 200
+
+
+def run_mix(write_fraction, seed=3):
+    cluster = Cluster(SystemConfig(), seed=seed)
+    manager = TransactionManager(cluster)
+    latencies = []
+
+    def worker(i):
+        rng = cluster.rng.stream(f"txn/{i}")
+        txn = manager.begin(i % cluster.num_nodes)
+        start = cluster.env.now
+        try:
+            for _ in range(PAGES_PER_TXN):
+                page = rng.randrange(HOT_PAGES)
+                if rng.random() < write_fraction:
+                    yield from manager.write(txn, page, payload=str(i))
+                else:
+                    yield from manager.read(txn, page)
+            committed = yield from manager.commit(txn)
+            if committed:
+                latencies.append(cluster.env.now - start)
+        except DeadlockError:
+            pass
+
+    def spawner():
+        for i in range(TRANSACTIONS):
+            yield cluster.env.timeout(
+                cluster.rng.exponential("spawn", 15.0)
+            )
+            cluster.env.process(worker(i))
+
+    cluster.env.process(spawner())
+    cluster.env.run()
+    deadlocks = sum(
+        lm.deadlocks_detected for lm in manager.locks.values()
+    )
+    return {
+        "write_fraction": write_fraction,
+        "committed": manager.committed,
+        "aborted": manager.aborted,
+        "deadlocks": deadlocks,
+        "mean_latency_ms": (
+            sum(latencies) / len(latencies) if latencies else 0.0
+        ),
+        "log_forces": sum(
+            log.forces for log in manager.logs.values()
+        ),
+    }
+
+
+def test_write_fraction_sweep(benchmark):
+    def run():
+        return [run_mix(wf) for wf in WRITE_FRACTIONS]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["write frac", "committed", "aborted", "deadlocks",
+         "mean latency (ms)", "log forces"],
+        [
+            [r["write_fraction"], r["committed"], r["aborted"],
+             r["deadlocks"], r["mean_latency_ms"], r["log_forces"]]
+            for r in results
+        ],
+        title="Extension: transactional mixes (2PL + WAL + 2PC)",
+    ))
+    by_wf = {r["write_fraction"]: r for r in results}
+    # Read-only mixes: no log forces at all, everything commits.
+    assert by_wf[0.0]["log_forces"] == 0
+    assert by_wf[0.0]["committed"] == TRANSACTIONS
+    # Updates cost: write-heavy mixes force logs and run slower.
+    assert by_wf[0.5]["log_forces"] > 0
+    assert (
+        by_wf[0.5]["mean_latency_ms"] > by_wf[0.0]["mean_latency_ms"]
+    )
+    # Every transaction resolves one way or the other.
+    for r in results:
+        assert r["committed"] + r["aborted"] + r["deadlocks"] >= 0
+        assert r["committed"] > 0

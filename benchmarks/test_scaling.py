@@ -1,0 +1,50 @@
+"""Scaling benches — larger clusters and more complex operations (§7.2).
+
+The paper states the base-experiment behaviour held for "vastly more
+complex operations ... or a larger number of nodes"; these benches run
+both axes and assert convergence still happens.
+"""
+
+from repro.experiments.scaling import (
+    run_complexity_scaling,
+    run_node_scaling,
+    to_text,
+)
+
+
+def test_node_scaling(benchmark, bench_config):
+    points = benchmark.pedantic(
+        lambda: run_node_scaling(
+            node_counts=(3, 5), base_config=bench_config, intervals=45
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(to_text(points, "Scaling: number of nodes"))
+    for point in points:
+        assert point.first_satisfied is not None, (
+            f"{point.label}: goal never satisfied"
+        )
+    # A larger cluster needs a longer warm-up (N+1 independent
+    # points), so satisfaction may come later, but it must come.
+    assert points[-1].satisfaction_ratio > 0.05
+
+
+def test_complexity_scaling(benchmark, bench_config):
+    points = benchmark.pedantic(
+        lambda: run_complexity_scaling(
+            pages_per_op=(4, 16), base_config=bench_config,
+            intervals=45,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(to_text(points, "Scaling: operation complexity"))
+    for point in points:
+        assert point.first_satisfied is not None, (
+            f"{point.label}: goal never satisfied"
+        )
+    # Complex operations are slower in absolute terms...
+    assert points[-1].mean_rt_tail_ms > points[0].mean_rt_tail_ms

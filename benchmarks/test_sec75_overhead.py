@@ -1,0 +1,27 @@
+"""Section 7.5 — overhead of the goal-oriented machinery.
+
+The paper reports control messages below 0.1 % of total network
+traffic, insignificant CPU cost, and very little extra memory.
+"""
+
+from repro.experiments.overhead import run_overhead
+
+
+def test_overhead(benchmark, paper_config):
+    result = benchmark.pedantic(
+        lambda: run_overhead(
+            seed=1, intervals=30, config=paper_config, goal_ms=6.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    # The paper's headline number: control traffic < 0.1 %.
+    assert result.control_fraction < 0.001
+    # Coordinator CPU cost is a vanishing fraction of real time
+    # (the paper's Table 1 tasks run only on goal violations).
+    assert result.coordinator_cpu_ms_per_s < 10.0
+    # Memory: a handful of measure points and reports, i.e. < 16 KiB.
+    assert result.coordinator_memory_bytes < 16 * 1024

@@ -1,0 +1,68 @@
+"""Table 1 — CPU execution time of the coordinator tasks.
+
+Benchmarks the three coordinator computations (linear-independence
+maintenance, hyperplane approximation, LP optimization) for the paper's
+node counts and checks the paper's shape: every task grows with N and
+the total stays in the low-millisecond range.
+"""
+
+import pytest
+
+from repro.experiments.table1 import (
+    PAPER_NODE_COUNTS,
+    build_problem,
+    build_window,
+    run_table1,
+    synthetic_points,
+    task_approximation,
+    task_lin_independence,
+    task_optimization,
+    to_text,
+)
+
+
+@pytest.mark.parametrize("num_nodes", PAPER_NODE_COUNTS)
+def test_lin_independence(benchmark, num_nodes):
+    window = build_window(num_nodes, seed=0)
+    points = synthetic_points(num_nodes, 64, seed=1)
+    state = {"i": 0}
+
+    def run():
+        task_lin_independence(window, points[state["i"] % len(points)])
+        state["i"] += 1
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("num_nodes", PAPER_NODE_COUNTS)
+def test_approximation(benchmark, num_nodes):
+    window = build_window(num_nodes, seed=0)
+    benchmark(lambda: task_approximation(window))
+
+
+@pytest.mark.parametrize("num_nodes", PAPER_NODE_COUNTS)
+def test_optimization(benchmark, num_nodes):
+    problem = build_problem(num_nodes, seed=0)
+    result = benchmark(lambda: task_optimization(problem))
+    assert result is not None
+
+
+def test_table1_shape_matches_paper(benchmark):
+    """Regenerate the whole table and verify the paper's trends."""
+    rows = benchmark.pedantic(
+        lambda: run_table1(node_counts=PAPER_NODE_COUNTS, repetitions=15),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(to_text(rows))
+    overall = [row.overall_ms for row in rows]
+    # Shape 1: overall cost grows with N.
+    assert overall[-1] > overall[0]
+    # Shape 2: the total stays in the low-millisecond range even at
+    # N = 50 (the paper reports 24.4 ms on 1997 hardware).
+    assert overall[-1] < 50.0
+    # Shape 3: per-task costs grow from N=5 to N=50.
+    first, last = rows[0], rows[-1]
+    assert last.lin_independence_ms > first.lin_independence_ms
+    assert last.approximation_ms > first.approximation_ms

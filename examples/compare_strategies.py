@@ -1,0 +1,69 @@
+"""Compare the goal-oriented LP partitioner against the baselines.
+
+Runs the same cold-start scenario under all four partitioning
+strategies — the paper's LP-based goal-oriented method, fragment
+fencing [5], class fencing [6], and dynamic tuning [8] — and prints
+when each first satisfies the goal and how steadily it stays there.
+
+Run::
+
+    python examples/compare_strategies.py
+"""
+
+from repro.baselines import COORDINATOR_TYPES, make_controller
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import SystemConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import default_workload
+from repro.workload.generator import WorkloadGenerator
+
+GOAL_MS = 6.0
+INTERVALS = 40
+
+
+def run_strategy(name: str, config: SystemConfig, seed: int = 5):
+    cluster = Cluster(config, seed=seed)
+    workload = default_workload(config, goal_ms=GOAL_MS)
+    controller = make_controller(name, cluster, goals={1: GOAL_MS})
+    generator = WorkloadGenerator(cluster, workload, sink=controller)
+    generator.start()
+    cluster.env.run(until=20_000.0)          # cache warm-up
+    controller.start()
+    cluster.env.run(
+        until=cluster.env.now
+        + INTERVALS * config.observation_interval_ms + 1e-3
+    )
+    satisfied = controller.series[1].satisfied
+    rts = controller.series[1].observed_rt.values
+    return {
+        "strategy": name,
+        "first": satisfied.index(True) + 1 if any(satisfied) else None,
+        "ratio": sum(satisfied) / len(satisfied),
+        "final_rt": rts[-1] if rts else float("nan"),
+        "final_dedicated_kb": int(
+            controller.series[1].dedicated_bytes.values[-1] // 1024
+        ),
+    }
+
+
+def main() -> None:
+    config = SystemConfig()
+    results = [
+        run_strategy(name, config) for name in sorted(COORDINATOR_TYPES)
+    ]
+    print(format_table(
+        ["strategy", "first satisfied", "satisfied ratio",
+         "final rt (ms)", "final dedicated (KB)"],
+        [
+            [r["strategy"],
+             r["first"] if r["first"] is not None else "never",
+             r["ratio"], r["final_rt"], r["final_dedicated_kb"]]
+            for r in results
+        ],
+        title=f"Cold start with a {GOAL_MS} ms goal, "
+              f"{INTERVALS} observation intervals",
+    ))
+
+
+if __name__ == "__main__":
+    main()

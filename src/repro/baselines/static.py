@@ -1,0 +1,73 @@
+"""Static buffer partitioning baseline.
+
+The manual approach the paper argues against (§1): an administrator
+fixes the per-node dedicated pool sizes once; nothing adapts when the
+workload or the goals change.  Implemented as a controller-compatible
+object so experiments can swap it in for
+:class:`~repro.core.controller.GoalOrientedController`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.controller import GoalOrientedController
+from repro.core.coordinator import Coordinator, CoordinatorDecision
+
+
+class StaticCoordinator(Coordinator):
+    """A coordinator that never repartitions."""
+
+    def __init__(self, *args, fixed_allocation: Optional[List[int]] = None,
+                 **kwargs):
+        super().__init__(*args, **kwargs)
+        self._fixed = fixed_allocation
+        self._applied = False
+
+    def evaluate(self, now, other_dedicated) -> CoordinatorDecision:
+        """Apply the fixed allocation once, then only observe."""
+        rt_goal = self._weighted_rt(self.goal_reports)
+        rt_nogoal = self._weighted_rt(self.nogoal_reports)
+        if not self._applied and self._fixed is not None:
+            self._applied = True
+            return CoordinatorDecision(
+                observed_rt=rt_goal,
+                observed_nogoal_rt=rt_nogoal,
+                satisfied=False,
+                new_allocation=np.asarray(self._fixed, dtype=float),
+                mechanism="static",
+            )
+        satisfied = (
+            rt_goal is None
+            or not self.tolerance.violated(rt_goal, self.goal_ms)
+        )
+        return CoordinatorDecision(
+            observed_rt=rt_goal,
+            observed_nogoal_rt=rt_nogoal,
+            satisfied=satisfied,
+        )
+
+
+class StaticPartitioningController(GoalOrientedController):
+    """Controller applying one fixed partitioning, then only observing."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        goals: Dict[int, float],
+        allocations: Dict[int, List[int]],
+        **kwargs,
+    ):
+        super().__init__(cluster, goals, **kwargs)
+        for class_id, coordinator in list(self.coordinators.items()):
+            static = StaticCoordinator(
+                class_id=class_id,
+                node_sizes=list(coordinator.node_sizes),
+                goal_ms=coordinator.goal_ms,
+                page_size=coordinator.page_size,
+                fixed_allocation=allocations.get(class_id),
+            )
+            self.coordinators[class_id] = static

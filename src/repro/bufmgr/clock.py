@@ -1,0 +1,54 @@
+"""CLOCK (second-chance) replacement.
+
+A classic LRU approximation: pages sit on a circular list with a
+reference bit; the clock hand sweeps, clearing bits, and evicts the
+first page found with a cleared bit.  Included to back the paper's §1
+claim that the partitioning algorithm "can be used in combination with
+almost every replacement strategy".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.bufmgr.base import BufferPool
+
+
+class ClockPool(BufferPool):
+    """Second-chance replacement with a sweeping hand."""
+
+    policy = "clock"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        #: page id -> reference bit; insertion order is the ring order.
+        self._pages: "OrderedDict[int, bool]" = OrderedDict()
+
+    def _select_victim(self) -> int:
+        # Sweep: give referenced pages a second chance by clearing the
+        # bit and rotating them behind the hand.
+        while True:
+            page_id, referenced = next(iter(self._pages.items()))
+            if not referenced:
+                return page_id
+            self._pages[page_id] = False
+            self._pages.move_to_end(page_id)
+
+    def _store(self, page_id: int) -> None:
+        self._pages[page_id] = False
+
+    def _discard(self, page_id: int) -> None:
+        del self._pages[page_id]
+
+    def touch(self, page_id: int) -> None:
+        self._pages[page_id] = True
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def page_ids(self) -> Iterable[int]:
+        return iter(self._pages)

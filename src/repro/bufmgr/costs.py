@@ -1,0 +1,67 @@
+"""Storage-hierarchy levels and measured access costs.
+
+The NOW has a three-level storage hierarchy (§1): local cache, remote
+cache, and disk.  The cost-based replacement needs the access cost of
+each level; per §6 these are *measured*, by tagging each page request
+with the level it was served from and observing the response times of
+finished requests.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict
+
+from repro.sim.stats import OnlineStats
+
+
+class AccessLevel(Enum):
+    """Where a page request was satisfied."""
+
+    LOCAL = "local"    # hit in a buffer of the requesting node
+    REMOTE = "remote"  # shipped from another node's cache
+    DISK = "disk"      # read from the home node's disk
+
+
+#: Cost ordering the paper's analysis depends on.
+LEVEL_ORDER = (AccessLevel.LOCAL, AccessLevel.REMOTE, AccessLevel.DISK)
+
+
+class CostObserver:
+    """Online mean access cost per storage level.
+
+    Starts from physically motivated defaults so benefit computations
+    are sane before the first measurements arrive, then converges to
+    the observed means.
+    """
+
+    #: Initial estimates in milliseconds (local ~ CPU only, remote ~
+    #: one round trip + page wire time, disk ~ seek + rotation +
+    #: transfer).  Refined by measurements immediately.
+    DEFAULTS = {
+        AccessLevel.LOCAL: 0.05,
+        AccessLevel.REMOTE: 0.6,
+        AccessLevel.DISK: 12.5,
+    }
+
+    def __init__(self):
+        self._stats: Dict[AccessLevel, OnlineStats] = {
+            level: OnlineStats() for level in AccessLevel
+        }
+
+    def observe(self, level: AccessLevel, elapsed_ms: float) -> None:
+        """Fold one finished request's elapsed time into the estimate."""
+        if elapsed_ms < 0:
+            raise ValueError("elapsed time must be non-negative")
+        self._stats[level].add(elapsed_ms)
+
+    def cost(self, level: AccessLevel) -> float:
+        """Current mean cost estimate for ``level`` in milliseconds."""
+        stats = self._stats[level]
+        if stats.count == 0:
+            return self.DEFAULTS[level]
+        return stats.mean
+
+    def observations(self, level: AccessLevel) -> int:
+        """How many measurements back the estimate for ``level``."""
+        return self._stats[level].count

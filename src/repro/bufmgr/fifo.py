@@ -1,0 +1,47 @@
+"""First-in-first-out replacement.
+
+FIFO is included as the textbook counter-example: it can violate the
+monotonicity assumption (more buffer => lower response time) via
+Belady's anomaly, which the paper cites ([2]) as the one exception to
+its premise.  The test suite demonstrates the anomaly on the classic
+reference string.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.bufmgr.base import BufferPool
+
+
+class FifoPool(BufferPool):
+    """Evict the page that entered the pool first, ignoring accesses."""
+
+    policy = "fifo"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._pages: "OrderedDict[int, None]" = OrderedDict()
+
+    def _select_victim(self) -> int:
+        return next(iter(self._pages))
+
+    def _store(self, page_id: int) -> None:
+        self._pages[page_id] = None
+
+    def _discard(self, page_id: int) -> None:
+        del self._pages[page_id]
+
+    def touch(self, page_id: int) -> None:
+        # FIFO ignores accesses after admission.
+        pass
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def page_ids(self) -> Iterable[int]:
+        return iter(self._pages)

@@ -1,0 +1,98 @@
+"""Heat estimation and dissemination for cost-based replacement.
+
+*Heat* is the access frequency of a page (accesses per time unit),
+locally per node and globally across the cluster (§6).  Following the
+paper, heat is approximated with the LRU-K statistic: with the last K
+access times recorded, ``heat = K / (now - t_K)`` where ``t_K`` is the
+K-th most recent access.
+
+Bookkeeping is created and deleted on demand: a (class, page) entry
+only exists once an operation of that class touched the page, exactly
+as §6 prescribes to bound the overhead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Hashable, Optional
+
+
+class HeatTracker:
+    """LRU-K-style heat estimates for a set of keys.
+
+    Keys are arbitrary hashables — a page id for accumulated heat, a
+    ``(class_id, page_id)`` pair for class-specific heat.
+    """
+
+    def __init__(self, k: int = 2):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._history: Dict[Hashable, Deque[float]] = {}
+
+    def record(self, key: Hashable, now: float) -> None:
+        """Register one access to ``key`` at time ``now``."""
+        history = self._history.get(key)
+        if history is None:
+            history = deque(maxlen=self.k)
+            self._history[key] = history
+        history.append(now)
+
+    def heat(self, key: Hashable, now: float) -> float:
+        """Estimated accesses per time unit for ``key`` (0.0 if unknown)."""
+        history = self._history.get(key)
+        if not history:
+            return 0.0
+        span = now - history[0]
+        if span <= 0.0:
+            # All recorded accesses happened "now"; treat as very hot.
+            return float(len(history))
+        return len(history) / span
+
+    def forget(self, key: Hashable) -> None:
+        """Delete the bookkeeping for ``key`` (on-demand deletion, §6)."""
+        self._history.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop all bookkeeping (node restart)."""
+        self._history.clear()
+
+    def tracked(self, key: Hashable) -> bool:
+        """True if any access to ``key`` is on record."""
+        return key in self._history
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+
+class GlobalHeatRegistry:
+    """Cluster-wide heat, shared by all nodes' cost-based pools.
+
+    The real system uses threshold-based update protocols [27, 26]; the
+    simulation keeps the registry exact but invokes ``on_update`` once
+    per ``update_threshold`` recorded accesses per page (the cluster
+    wires this to HEAT_UPDATE message accounting), so the §7.5 traffic
+    accounting reflects the dissemination cost.
+    """
+
+    def __init__(self, k: int = 2,
+                 on_update: Optional[Callable[[], None]] = None,
+                 update_threshold: int = 8):
+        self._tracker = HeatTracker(k)
+        self._on_update = on_update
+        self._threshold = max(1, update_threshold)
+        self._pending: Dict[int, int] = {}
+
+    def record(self, page_id: int, now: float) -> None:
+        """Register one access to ``page_id`` anywhere in the cluster."""
+        self._tracker.record(page_id, now)
+        pending = self._pending.get(page_id, 0) + 1
+        if pending >= self._threshold:
+            pending = 0
+            if self._on_update is not None:
+                self._on_update()
+        self._pending[page_id] = pending
+
+    def heat(self, page_id: int, now: float) -> float:
+        """Cluster-wide access rate estimate for ``page_id``."""
+        return self._tracker.heat(page_id, now)

@@ -1,0 +1,86 @@
+"""2Q replacement (Johnson & Shasha, VLDB '94).
+
+2Q guards the main (hot) queue against scan pollution: a page's first
+reference only admits it to a FIFO probation queue (A1in); pages
+evicted from probation are remembered in a ghost list (A1out, ids
+only); a reference to a remembered page promotes it to the hot LRU
+queue (Am).  Like LRU-K it resists correlated scans — a natural
+companion policy for the §6 cost-based manager's comparison suite.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.bufmgr.base import BufferPool
+
+
+class TwoQPool(BufferPool):
+    """Simplified full-version 2Q with configurable queue fractions."""
+
+    policy = "2q"
+
+    def __init__(self, capacity: int, in_fraction: float = 0.25,
+                 out_fraction: float = 0.5):
+        if not 0.0 < in_fraction < 1.0:
+            raise ValueError("in_fraction must lie in (0, 1)")
+        if out_fraction <= 0.0:
+            raise ValueError("out_fraction must be positive")
+        super().__init__(capacity)
+        self._kin = max(1, int(in_fraction * capacity)) if capacity else 0
+        self._kout = max(1, int(out_fraction * capacity)) if capacity else 0
+        self._a1in: "OrderedDict[int, None]" = OrderedDict()   # probation
+        self._am: "OrderedDict[int, None]" = OrderedDict()     # hot, LRU
+        self._a1out: "OrderedDict[int, None]" = OrderedDict()  # ghosts
+
+    def _select_victim(self) -> int:
+        # Prefer reclaiming from probation once it exceeds its share.
+        if self._a1in and (len(self._a1in) > self._kin or not self._am):
+            victim = next(iter(self._a1in))
+            # Remember the evicted page as a ghost.
+            self._a1out[victim] = None
+            while len(self._a1out) > self._kout:
+                self._a1out.popitem(last=False)
+            return victim
+        return next(iter(self._am))
+
+    def _store(self, page_id: int) -> None:
+        if page_id in self._a1out:
+            # A remembered page returns hot.
+            del self._a1out[page_id]
+            self._am[page_id] = None
+        else:
+            self._a1in[page_id] = None
+
+    def _discard(self, page_id: int) -> None:
+        if page_id in self._a1in:
+            del self._a1in[page_id]
+        else:
+            del self._am[page_id]
+
+    def touch(self, page_id: int) -> None:
+        if page_id in self._am:
+            self._am.move_to_end(page_id)
+        # A1in hits do NOT promote (2Q's scan resistance): the page
+        # must be re-referenced after leaving probation.
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._a1in or page_id in self._am
+
+    def __len__(self) -> int:
+        return len(self._a1in) + len(self._am)
+
+    def page_ids(self) -> Iterable[int]:
+        yield from self._a1in
+        yield from self._am
+
+    @property
+    def hot_pages(self) -> int:
+        """Pages currently in the hot (Am) queue."""
+        return len(self._am)
+
+    @property
+    def ghost_pages(self) -> int:
+        """Remembered-but-evicted page ids (A1out)."""
+        return len(self._a1out)

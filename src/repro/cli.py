@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's experiments plus a demo run:
+
+- ``table1``     — coordinator CPU cost table (§5, Table 1)
+- ``figure2``    — the base experiment series (§7.2, Figure 2)
+- ``table2``     — convergence vs. skew (§7.3, Table 2)
+- ``multiclass`` — the §7.4 sharing study
+- ``overhead``   — the §7.5 overhead breakdown
+- ``all``        — everything above in sequence
+- ``demo``       — a short quickstart run printing live progress
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args) -> None:
+    from repro.experiments import table1
+
+    rows = table1.run_table1(repetitions=args.repetitions)
+    print(table1.to_text(rows))
+
+
+def _cmd_figure2(args) -> None:
+    from repro.experiments.figure2 import run_figure2
+
+    data = run_figure2(seed=args.seed, intervals=args.intervals)
+    if args.chart:
+        print(data.to_chart())
+    else:
+        print(data.to_text())
+    if args.csv:
+        data.save_csv(args.csv)
+        print(f"series written to {args.csv}")
+    print(f"satisfaction ratio: {data.satisfaction_ratio():.2f}")
+    print(f"corr(RT, dedicated): {data.rt_tracks_memory():.2f}")
+
+
+def _cmd_table2(args) -> None:
+    from repro.experiments import table2
+
+    results = table2.run_table2(
+        max_replications=args.replications, base_seed=args.seed
+    )
+    print(table2.to_text(results))
+
+
+def _cmd_multiclass(args) -> None:
+    from repro.experiments.multiclass import run_sharing_sweep
+
+    result = run_sharing_sweep(intervals=args.intervals)
+    print(result.to_text())
+    print(
+        "k2 dedicated memory decreases with sharing: "
+        f"{result.k2_dedicated_decreases()}"
+    )
+
+
+def _cmd_overhead(args) -> None:
+    from repro.experiments.overhead import run_overhead
+
+    print(run_overhead(seed=args.seed, intervals=args.intervals).to_text())
+
+
+def _cmd_scaling(args) -> None:
+    from repro.experiments.scaling import (
+        run_complexity_scaling,
+        run_node_scaling,
+        to_text,
+    )
+
+    print(to_text(run_node_scaling(), "Scaling: number of nodes"))
+    print()
+    print(to_text(
+        run_complexity_scaling(), "Scaling: operation complexity"
+    ))
+
+
+def _cmd_all(args) -> None:
+    from repro.experiments.all import run_all
+
+    run_all(quick=args.quick)
+
+
+def _cmd_demo(args) -> None:
+    from repro import build_base_experiment
+
+    sim = build_base_experiment(
+        seed=args.seed, goal_ms=args.goal, warmup_ms=20_000.0
+    )
+    for interval in range(1, args.intervals + 1):
+        sim.run(intervals=1)
+        series = sim.controller.series[1]
+        observed = (
+            f"{series.observed_rt.values[-1]:.2f}"
+            if series.observed_rt.values else "-"
+        )
+        flag = "ok" if series.satisfied[-1] else "  "
+        print(
+            f"interval {interval:>3}: rt={observed:>7} ms  "
+            f"goal={sim.controller.goal_of(1):.1f} ms  "
+            f"dedicated={sim.dedicated_bytes(1) // 1024:>5} KB  {flag}"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Goal-oriented distributed buffer management "
+            "(Sinnwell & König, ICDE 1999) — reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="coordinator CPU cost table")
+    p.add_argument("--repetitions", type=int, default=50)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("figure2", help="base experiment series")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--intervals", type=int, default=80)
+    p.add_argument("--chart", action="store_true",
+                   help="render as an ASCII chart instead of a table")
+    p.add_argument("--csv", metavar="PATH",
+                   help="also export the series as CSV")
+    p.set_defaults(func=_cmd_figure2)
+
+    p = sub.add_parser("table2", help="convergence vs. skew")
+    p.add_argument("--seed", type=int, default=100)
+    p.add_argument("--replications", type=int, default=12)
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("multiclass", help="§7.4 sharing study")
+    p.add_argument("--intervals", type=int, default=60)
+    p.set_defaults(func=_cmd_multiclass)
+
+    p = sub.add_parser("overhead", help="§7.5 overhead breakdown")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--intervals", type=int, default=40)
+    p.set_defaults(func=_cmd_overhead)
+
+    p = sub.add_parser("scaling", help="node-count / complexity scaling")
+    p.set_defaults(func=_cmd_scaling)
+
+    p = sub.add_parser("all", help="every experiment in sequence")
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=_cmd_all)
+
+    p = sub.add_parser("demo", help="short live quickstart run")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--goal", type=float, default=6.0)
+    p.add_argument("--intervals", type=int, default=25)
+    p.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    """Entry point for ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

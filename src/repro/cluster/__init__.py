@@ -1,0 +1,38 @@
+"""NOW (network of workstations) substrate: nodes, disks, network,
+database homes, page-location directory, and the cluster assembly."""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import (
+    CpuParameters,
+    DiskParameters,
+    NetworkParameters,
+    NodeParameters,
+    SystemConfig,
+)
+from repro.cluster.database import Database
+from repro.cluster.directory import PageDirectory
+from repro.cluster.messages import (
+    CONTROL_KINDS,
+    MessageKind,
+    TrafficAccounting,
+    message_size,
+)
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+
+__all__ = [
+    "CONTROL_KINDS",
+    "Cluster",
+    "CpuParameters",
+    "Database",
+    "DiskParameters",
+    "MessageKind",
+    "NetworkParameters",
+    "Network",
+    "Node",
+    "NodeParameters",
+    "PageDirectory",
+    "SystemConfig",
+    "TrafficAccounting",
+    "message_size",
+]

@@ -1,0 +1,182 @@
+"""Whole-system assembly and the distributed page access path.
+
+:class:`Cluster` wires together the simulation environment, the nodes
+(CPU + disk + buffer manager), the shared network, the database home
+mapping, the page-location directory, and the measured access costs.
+Its :meth:`Cluster.access_page` generator implements data-shipping
+(§3): the requested page is copied to the node where the operation was
+initiated, served from — in order of preference — the local cache, a
+remote cache, or the home node's disk.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bufmgr.costs import AccessLevel, CostObserver
+from repro.bufmgr.heat import GlobalHeatRegistry
+from repro.bufmgr.manager import NodeBufferManager
+from repro.cluster.config import SystemConfig
+from repro.cluster.database import Database
+from repro.cluster.directory import PageDirectory
+from repro.cluster.messages import MessageKind
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+
+
+class Cluster:
+    """A simulated network of workstations."""
+
+    def __init__(
+        self,
+        config: SystemConfig = None,
+        seed: int = 0,
+        policy: str = "cost",
+    ):
+        self.config = config if config is not None else SystemConfig()
+        self.env = Environment()
+        self.rng = RandomStreams(seed)
+        self.network = Network(self.env, self.config.network)
+        self.database = Database(
+            self.config.num_pages,
+            self.config.page_size,
+            self.config.num_nodes,
+            self.config.placement,
+        )
+        self.directory = PageDirectory(self.network)
+        self.costs = CostObserver()
+        self.global_heat = GlobalHeatRegistry(
+            on_update=lambda: self.network.account_only(
+                MessageKind.HEAT_UPDATE
+            )
+        )
+        self.nodes: List[Node] = [
+            Node(i, self.env, self.config)
+            for i in range(self.config.num_nodes)
+        ]
+        for node in self.nodes:
+            node.buffers = NodeBufferManager(
+                node_id=node.node_id,
+                total_bytes=self.config.node.buffer_bytes,
+                page_size=self.config.page_size,
+                clock=lambda: self.env.now,
+                global_heat=self.global_heat,
+                costs=self.costs,
+                is_last_copy=self.directory.is_last_copy,
+                policy=policy,
+            )
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of workstations in the cluster."""
+        return self.config.num_nodes
+
+    # -- page access path ---------------------------------------------
+
+    def access_page(self, node_id: int, page_id: int, class_id: int):
+        """Generator: one data-shipping page access.
+
+        Returns (via StopIteration value, i.e. ``yield from``) the
+        :class:`AccessLevel` the page was served from.
+        """
+        node = self.nodes[node_id]
+        start = self.env.now
+        cpu = self.config.cpu
+
+        yield from node.cpu.consume(cpu.instructions_buffer_lookup)
+        hit, dropped = node.buffers.probe(page_id, class_id)
+        self._unregister(node_id, dropped)
+        if hit:
+            self.costs.observe(AccessLevel.LOCAL, self.env.now - start)
+            return AccessLevel.LOCAL
+
+        level = yield from self._fetch(node, page_id)
+
+        dropped = node.buffers.admit(page_id, class_id)
+        self._unregister(node_id, dropped)
+        if node.buffers.contains(page_id):
+            self.directory.register(page_id, node_id)
+        self.costs.observe(level, self.env.now - start)
+        return level
+
+    def _fetch(self, node: Node, page_id: int):
+        """Generator: bring a page to ``node`` from remote cache or disk."""
+        cpu = self.config.cpu
+        remote_id = self.directory.remote_holder(page_id, node.node_id)
+        if remote_id is not None:
+            yield from self.network.send_message(MessageKind.PAGE_REQUEST)
+            remote = self.nodes[remote_id]
+            yield from remote.cpu.consume(
+                cpu.instructions_message + cpu.instructions_buffer_lookup
+            )
+            # The copy may have been evicted while our request was in
+            # flight; fall back to disk in that case.
+            if remote.buffers.contains(page_id):
+                yield from self.network.send_message(
+                    MessageKind.PAGE_SHIP, self.config.page_size
+                )
+                yield from node.cpu.consume(cpu.instructions_page_handling)
+                return AccessLevel.REMOTE
+
+        home_id = self.database.home(page_id)
+        home = self.nodes[home_id]
+        if home_id == node.node_id:
+            yield from home.disk.read(self.config.page_size)
+            yield from node.cpu.consume(cpu.instructions_page_handling)
+        else:
+            yield from self.network.send_message(MessageKind.PAGE_REQUEST)
+            yield from home.cpu.consume(cpu.instructions_message)
+            yield from home.disk.read(self.config.page_size)
+            yield from self.network.send_message(
+                MessageKind.PAGE_SHIP, self.config.page_size
+            )
+            yield from node.cpu.consume(cpu.instructions_page_handling)
+        return AccessLevel.DISK
+
+    # -- allocation plumbing --------------------------------------------
+
+    def apply_allocation(self, class_id: int, node_bytes: List[int]) -> List[int]:
+        """Set class ``class_id``'s dedicated pool size on every node.
+
+        ``node_bytes[i]`` is the requested size on node ``i``.  Returns
+        the *granted* sizes, which may be smaller when another class
+        holds the memory (phase (e) conflict rule).
+        """
+        if len(node_bytes) != self.num_nodes:
+            raise ValueError("need one size per node")
+        granted = []
+        for node, nbytes in zip(self.nodes, node_bytes):
+            got, dropped = node.buffers.set_dedicated_bytes(class_id, nbytes)
+            self._unregister(node.node_id, dropped)
+            granted.append(got)
+        return granted
+
+    def dedicated_bytes(self, class_id: int) -> List[int]:
+        """Current per-node dedicated pool sizes for ``class_id``."""
+        return [
+            node.buffers.dedicated_bytes(class_id) for node in self.nodes
+        ]
+
+    def total_dedicated_bytes(self, class_id: int) -> int:
+        """System-wide dedicated memory of ``class_id`` in bytes."""
+        return sum(self.dedicated_bytes(class_id))
+
+    def restart_node(self, node_id: int) -> int:
+        """Simulate a node restart: its cache content is lost.
+
+        All cached pages are dropped (and unregistered from the
+        directory), heat bookkeeping resets, but the disk-resident
+        pages and the allocation table survive.  Returns the number of
+        pages dropped.  Used by resilience experiments: the feedback
+        loop must re-converge after the resulting response time spike.
+        """
+        node = self.nodes[node_id]
+        dropped = node.buffers.clear()
+        self._unregister(node_id, dropped)
+        return len(dropped)
+
+    def _unregister(self, node_id: int, dropped: List[int]) -> None:
+        for page_id in dropped:
+            self.directory.unregister(page_id, node_id)

@@ -1,0 +1,34 @@
+"""CPU model: a single-server FCFS resource with MIPS-based service times."""
+
+from __future__ import annotations
+
+from repro.cluster.config import CpuParameters
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+
+class Cpu:
+    """One node's processor.
+
+    Simulation processes consume CPU with::
+
+        yield from cpu.consume(instructions)
+
+    which queues FCFS behind other work on the same node.
+    """
+
+    def __init__(self, env: Environment, params: CpuParameters):
+        self.env = env
+        self.params = params
+        self.resource = Resource(env, capacity=1)
+
+    def consume(self, instructions: float):
+        """Generator: hold the CPU for ``instructions`` instructions."""
+        service = self.params.service_ms(instructions)
+        with self.resource.request() as req:
+            yield req
+            yield self.env.timeout(service)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time this CPU was busy."""
+        return self.resource.utilization()

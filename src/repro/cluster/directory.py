@@ -1,0 +1,77 @@
+"""Global page-location directory for remote caching.
+
+Remote caching needs to know which nodes currently hold a cached copy
+of a page, and in particular whether a given copy is the *last* cached
+copy in the system (the cost-based replacement of §6 prices last copies
+higher, because dropping one forces the next access to disk).
+
+The real system of [27, 26] disseminates this information with
+threshold-based protocols; the simulation models the resulting
+knowledge directly and charges :class:`~repro.cluster.messages`
+DIRECTORY_UPDATE bytes for each registration change so the overhead
+accounting stays honest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.cluster.messages import MessageKind
+from repro.cluster.network import Network
+
+
+class PageDirectory:
+    """Tracks, per page, the set of nodes caching it."""
+
+    def __init__(self, network: Optional[Network] = None):
+        self._holders: Dict[int, Set[int]] = {}
+        self._network = network
+
+    def register(self, page_id: int, node_id: int) -> None:
+        """Note that ``node_id`` now caches ``page_id``."""
+        holders = self._holders.setdefault(page_id, set())
+        if node_id not in holders:
+            holders.add(node_id)
+            self._account()
+
+    def unregister(self, page_id: int, node_id: int) -> None:
+        """Note that ``node_id`` dropped its copy of ``page_id``."""
+        holders = self._holders.get(page_id)
+        if holders and node_id in holders:
+            holders.remove(node_id)
+            if not holders:
+                del self._holders[page_id]
+            self._account()
+
+    def holders(self, page_id: int) -> Set[int]:
+        """Nodes currently caching ``page_id`` (possibly empty)."""
+        return set(self._holders.get(page_id, ()))
+
+    def cached_anywhere(self, page_id: int) -> bool:
+        """True if at least one node caches the page."""
+        return bool(self._holders.get(page_id))
+
+    def remote_holder(self, page_id: int, requester: int) -> Optional[int]:
+        """A node other than ``requester`` caching the page, if any.
+
+        Deterministically returns the lowest node id so simulations are
+        reproducible.
+        """
+        holders = self._holders.get(page_id)
+        if not holders:
+            return None
+        candidates = sorted(h for h in holders if h != requester)
+        return candidates[0] if candidates else None
+
+    def is_last_copy(self, page_id: int, node_id: int) -> bool:
+        """True if ``node_id`` holds the only cached copy of the page."""
+        holders = self._holders.get(page_id)
+        return holders == {node_id}
+
+    def copy_count(self, page_id: int) -> int:
+        """Number of cached copies across the cluster."""
+        return len(self._holders.get(page_id, ()))
+
+    def _account(self) -> None:
+        if self._network is not None:
+            self._network.account_only(MessageKind.DIRECTORY_UPDATE)

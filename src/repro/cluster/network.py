@@ -1,0 +1,49 @@
+"""Shared-medium LAN model with per-kind traffic accounting."""
+
+from __future__ import annotations
+
+from repro.cluster.config import NetworkParameters
+from repro.cluster.messages import MessageKind, TrafficAccounting, message_size
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+
+class Network:
+    """The cluster interconnect (§7.1: 100 Mbit/s).
+
+    Modelled as one shared medium: transfers serialize on a single
+    resource, so heavy page shipping delays everything else, as on a
+    real shared LAN segment.  Every transfer is tagged with a
+    :class:`MessageKind` for the §7.5 overhead accounting.
+    """
+
+    def __init__(self, env: Environment, params: NetworkParameters):
+        self.env = env
+        self.params = params
+        self.medium = Resource(env, capacity=1)
+        self.accounting = TrafficAccounting()
+
+    def transfer(self, kind: MessageKind, nbytes: int):
+        """Generator: move ``nbytes`` bytes across the network."""
+        wire_time = self.params.transfer_ms(nbytes)
+        with self.medium.request() as req:
+            yield req
+            yield self.env.timeout(wire_time)
+        self.accounting.record(kind, nbytes)
+
+    def send_message(self, kind: MessageKind, page_size: int = 0):
+        """Generator: move one message of ``kind`` (standard wire size)."""
+        yield from self.transfer(kind, message_size(kind, page_size))
+
+    def account_only(self, kind: MessageKind, page_size: int = 0) -> None:
+        """Record a message's bytes without simulating wire occupancy.
+
+        Used for fire-and-forget control messages whose wire time is
+        irrelevant to response times but whose bytes must be counted in
+        the §7.5 overhead study.
+        """
+        self.accounting.record(kind, message_size(kind, page_size))
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the medium was busy."""
+        return self.medium.utilization()

@@ -1,0 +1,296 @@
+"""The distributed feedback loop wired into the simulation.
+
+:class:`GoalOrientedController` instantiates one agent per (class,
+node) — including no-goal agents — and one coordinator per goal class,
+placed round-robin across the nodes (§5 allows any placement; spreading
+them balances load).  Every observation interval it runs the five
+phases: agents snapshot their windows (a), reports travel to the
+coordinators (b) — as network messages when agent and coordinator live
+on different nodes, significant-change-filtered as in the paper —
+goals are checked (c), violated classes are re-optimized (d), and new
+allocations are shipped to the node buffer managers (e), with conflicts
+reported back via acknowledgements.
+
+The controller doubles as the workload sink: the generator feeds
+arrivals and completions straight into the right agent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bufmgr.manager import NO_GOAL_CLASS
+from repro.cluster.cluster import Cluster
+from repro.cluster.messages import MessageKind
+from repro.core.agent import AgentReport, ClassAgent
+from repro.core.coordinator import Coordinator, CoordinatorDecision
+from repro.core.tolerance import GoalTolerance
+from repro.sim.stats import TimeSeries
+
+
+class ClassSeries:
+    """Recorded per-interval series for one goal class."""
+
+    def __init__(self, class_id: int):
+        self.class_id = class_id
+        self.observed_rt = TimeSeries("observed_rt")
+        self.goal = TimeSeries("goal")
+        self.dedicated_bytes = TimeSeries("dedicated_bytes")
+        self.nogoal_rt = TimeSeries("nogoal_rt")
+        self.satisfied: List[bool] = []
+
+
+class GoalOrientedController:
+    """Drives the goal-oriented partitioning inside a cluster simulation."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        goals: Dict[int, float],
+        interval_ms: Optional[float] = None,
+        tolerance_factory: Callable[[], GoalTolerance] = GoalTolerance,
+        warmup_fraction: float = 0.25,
+        warmup_step: float = 0.125,
+        max_point_age_intervals: Optional[int] = 40,
+        auto_balance: bool = False,
+    ):
+        self.cluster = cluster
+        self.interval_ms = (
+            interval_ms
+            if interval_ms is not None
+            else cluster.config.observation_interval_ms
+        )
+        n = cluster.num_nodes
+        node_sizes = [cluster.config.node.buffer_bytes] * n
+        max_age = (
+            max_point_age_intervals * self.interval_ms
+            if max_point_age_intervals is not None
+            else None
+        )
+        self.coordinators: Dict[int, Coordinator] = {}
+        self.coordinator_home: Dict[int, int] = {}
+        for class_id, goal_ms in sorted(goals.items()):
+            self.coordinators[class_id] = Coordinator(
+                class_id=class_id,
+                node_sizes=node_sizes,
+                goal_ms=goal_ms,
+                page_size=cluster.config.page_size,
+                tolerance=tolerance_factory(),
+                warmup_fraction=warmup_fraction,
+                warmup_step=warmup_step,
+                max_point_age=max_age,
+            )
+            self.coordinator_home[class_id] = class_id % n
+        self.agents: Dict[Tuple[int, int], ClassAgent] = {}
+        for class_id in list(goals) + [NO_GOAL_CLASS]:
+            for node_id in range(n):
+                self.agents[(class_id, node_id)] = ClassAgent(
+                    node_id, class_id
+                )
+        self.series: Dict[int, ClassSeries] = {
+            class_id: ClassSeries(class_id) for class_id in goals
+        }
+        self.interval_index = 0
+        self._interval_hooks: List[Callable[["GoalOrientedController", int], None]] = []
+        self._started = False
+        self._hit_counts: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        #: §5 load balancing: when True, at most one coordinator per
+        #: interval is moved from the busiest CPU node to the idlest.
+        self.auto_balance = auto_balance
+        self.migrations = 0
+
+    # -- workload sink ------------------------------------------------
+
+    def on_arrival(self, node_id: int, class_id: int, now: float) -> None:
+        """Route an arrival to the right local agent."""
+        agent = self._agent(class_id, node_id)
+        agent.on_arrival(now)
+
+    def on_complete(
+        self, node_id: int, class_id: int, response_ms: float, now: float
+    ) -> None:
+        """Route a completion to the right local agent."""
+        agent = self._agent(class_id, node_id)
+        agent.on_complete(response_ms, now)
+
+    def _agent(self, class_id: int, node_id: int) -> ClassAgent:
+        agent = self.agents.get((class_id, node_id))
+        if agent is None:
+            agent = ClassAgent(node_id, class_id)
+            self.agents[(class_id, node_id)] = agent
+        return agent
+
+    # -- control -----------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the periodic feedback loop (call before env.run)."""
+        if self._started:
+            raise RuntimeError("controller already started")
+        self._started = True
+        self.cluster.env.process(self._loop())
+
+    def set_goal(self, class_id: int, goal_ms: float) -> None:
+        """Dynamically adjust a class's response time goal."""
+        self.coordinators[class_id].set_goal(goal_ms)
+
+    def on_interval(
+        self, hook: Callable[["GoalOrientedController", int], None]
+    ) -> None:
+        """Register a callback run at the end of every interval."""
+        self._interval_hooks.append(hook)
+
+    def goal_of(self, class_id: int) -> float:
+        """Current goal of ``class_id`` in ms."""
+        return self.coordinators[class_id].goal_ms
+
+    # -- coordinator placement (§5) -----------------------------------
+
+    def migrate_coordinator(self, class_id: int, new_home: int) -> None:
+        """Move a class's coordinator to ``new_home``.
+
+        §5: a coordinator can be placed on any node and even migrate,
+        as long as all corresponding agents are informed — every other
+        node receives a MIGRATION announcement, and the coordinator's
+        state (measure points and remembered reports) crosses the
+        network once.
+        """
+        if class_id not in self.coordinators:
+            raise KeyError(class_id)
+        if not 0 <= new_home < self.cluster.num_nodes:
+            raise ValueError(f"no node {new_home}")
+        old_home = self.coordinator_home[class_id]
+        if new_home == old_home:
+            return
+        network = self.cluster.network
+        for node_id in range(self.cluster.num_nodes):
+            if node_id != new_home:
+                network.account_only(MessageKind.MIGRATION)
+        network.account_only(MessageKind.MIGRATION_STATE)
+        self.coordinator_home[class_id] = new_home
+        self.migrations += 1
+
+    def _rebalance(self) -> None:
+        """Move one coordinator off the busiest CPU, if clearly busier."""
+        utilizations = [
+            node.cpu.utilization() for node in self.cluster.nodes
+        ]
+        busiest = max(range(len(utilizations)), key=utilizations.__getitem__)
+        idlest = min(range(len(utilizations)), key=utilizations.__getitem__)
+        if utilizations[busiest] - utilizations[idlest] < 0.10:
+            return
+        for class_id, home in self.coordinator_home.items():
+            if home == busiest:
+                self.migrate_coordinator(class_id, idlest)
+                return
+
+    # -- the feedback loop ---------------------------------------------
+
+    def _loop(self):
+        env = self.cluster.env
+        network = self.cluster.network
+        while True:
+            yield env.timeout(self.interval_ms)
+            self.interval_index += 1
+            now = env.now
+
+            # Phase (a): every agent closes its observation window.
+            reports: Dict[Tuple[int, int], AgentReport] = {}
+            for key, agent in self.agents.items():
+                reports[key] = agent.snapshot(self.interval_ms, now)
+
+            # Phase (b): ship significant reports to the coordinators.
+            for (class_id, node_id), report in reports.items():
+                agent = self.agents[(class_id, node_id)]
+                if not agent.significant_change(report):
+                    continue
+                agent.mark_reported(report)
+                if class_id == NO_GOAL_CLASS:
+                    for goal_id, coordinator in self.coordinators.items():
+                        if self.coordinator_home[goal_id] != node_id:
+                            network.account_only(MessageKind.AGENT_REPORT)
+                        coordinator.receive_nogoal_report(report)
+                else:
+                    coordinator = self.coordinators.get(class_id)
+                    if coordinator is None:
+                        continue
+                    if self.coordinator_home[class_id] != node_id:
+                        network.account_only(MessageKind.AGENT_REPORT)
+                    coordinator.receive_goal_report(report)
+
+            # Local hit/miss deltas for estimators that need them
+            # (e.g. the class-fencing baseline).
+            for class_id, coordinator in self.coordinators.items():
+                for node in self.cluster.nodes:
+                    hits = node.buffers.hits_by_class.get(class_id, 0)
+                    misses = node.buffers.misses_by_class.get(class_id, 0)
+                    key = (class_id, node.node_id)
+                    last_h, last_m = self._hit_counts.get(key, (0, 0))
+                    self._hit_counts[key] = (hits, misses)
+                    coordinator.receive_hit_info(
+                        node.node_id, hits - last_h, misses - last_m
+                    )
+
+            # Phases (c)-(e) per goal class.
+            for class_id, coordinator in self.coordinators.items():
+                other = self._other_dedicated(class_id)
+                decision = coordinator.evaluate(now, other)
+                self._apply(class_id, coordinator, decision)
+                self._record(class_id, coordinator, decision, now)
+
+            if self.auto_balance:
+                self._rebalance()
+
+            for hook in self._interval_hooks:
+                hook(self, self.interval_index)
+
+    def _other_dedicated(self, class_id: int) -> List[int]:
+        """Per node: bytes dedicated to goal classes other than this one."""
+        return [
+            node.buffers.total_dedicated_bytes()
+            - node.buffers.dedicated_bytes(class_id)
+            for node in self.cluster.nodes
+        ]
+
+    def _apply(
+        self,
+        class_id: int,
+        coordinator: Coordinator,
+        decision: CoordinatorDecision,
+    ) -> None:
+        if decision.new_allocation is None:
+            return
+        requested = [int(b) for b in decision.new_allocation]
+        previous = self.cluster.dedicated_bytes(class_id)
+        granted = self.cluster.apply_allocation(class_id, requested)
+        home = self.coordinator_home[class_id]
+        network = self.cluster.network
+        for node_id, (req, got, old) in enumerate(
+            zip(requested, granted, previous)
+        ):
+            if req != old and node_id != home:
+                network.account_only(MessageKind.ALLOCATION)
+            if got != req and node_id != home:
+                # Phase (e): the local agent could not allocate the full
+                # amount and informs the coordinator of the difference.
+                network.account_only(MessageKind.ALLOCATION_ACK)
+        coordinator.receive_granted(granted)
+
+    def _record(
+        self,
+        class_id: int,
+        coordinator: Coordinator,
+        decision: CoordinatorDecision,
+        now: float,
+    ) -> None:
+        series = self.series[class_id]
+        if decision.observed_rt is not None:
+            series.observed_rt.append(now, decision.observed_rt)
+        if decision.observed_nogoal_rt is not None:
+            series.nogoal_rt.append(now, decision.observed_nogoal_rt)
+        series.goal.append(now, coordinator.goal_ms)
+        series.dedicated_bytes.append(
+            now, float(np.sum(coordinator.current_allocation))
+        )
+        series.satisfied.append(decision.satisfied)

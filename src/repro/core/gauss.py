@@ -1,0 +1,114 @@
+"""Incremental Gaussian elimination for linear-independence maintenance.
+
+Phase (b) of the algorithm must guarantee that the ``N + 1`` retained
+measure points admit a *unique* hyperplane approximation, i.e. that the
+difference vectors between the newest point and the ``N`` older ones
+are linearly independent.  Testing a candidate vector against an
+existing independent set is done by incremental Gaussian elimination:
+the set is kept in eliminated (row echelon) form, so checking and
+adding one vector costs O(N²) instead of re-running a full O(N³)
+elimination (§5, "incremental Gauss algorithm" after [14]).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class IndependenceTracker:
+    """A growing set of linearly independent vectors in R^dim."""
+
+    def __init__(self, dim: int, rtol: float = 1e-9):
+        if dim < 1:
+            raise ValueError("dimension must be >= 1")
+        self.dim = dim
+        self.rtol = rtol
+        #: Eliminated rows; ``_pivots[i]`` is the pivot column of row i.
+        self._rows: List[np.ndarray] = []
+        self._pivots: List[int] = []
+
+    @property
+    def rank(self) -> int:
+        """Number of independent vectors stored."""
+        return len(self._rows)
+
+    @property
+    def full(self) -> bool:
+        """True once dim vectors are stored (the set spans R^dim)."""
+        return self.rank >= self.dim
+
+    def residual(self, vector) -> np.ndarray:
+        """``vector`` after elimination against the stored rows."""
+        v = np.asarray(vector, dtype=float)
+        if v.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {v.shape}")
+        v = v.copy()
+        for row, pivot in zip(self._rows, self._pivots):
+            if v[pivot] != 0.0:
+                v = v - (v[pivot] / row[pivot]) * row
+        return v
+
+    def is_independent(self, vector) -> bool:
+        """Would adding ``vector`` keep the set linearly independent?"""
+        if self.full:
+            return False
+        v = np.asarray(vector, dtype=float)
+        norm = float(np.linalg.norm(v))
+        if norm == 0.0:
+            return False
+        residual = self.residual(v)
+        return float(np.abs(residual).max()) > self.rtol * norm
+
+    def add(self, vector) -> bool:
+        """Add ``vector`` if it is independent; return success."""
+        if self.full:
+            return False
+        v = np.asarray(vector, dtype=float)
+        norm = float(np.linalg.norm(v))
+        if norm == 0.0:
+            return False
+        residual = self.residual(v)
+        pivot = int(np.abs(residual).argmax())
+        if abs(residual[pivot]) <= self.rtol * norm:
+            return False
+        self._rows.append(residual)
+        self._pivots.append(pivot)
+        return True
+
+    def copy(self) -> "IndependenceTracker":
+        """Deep copy (used when tentatively re-selecting points)."""
+        clone = IndependenceTracker(self.dim, self.rtol)
+        clone._rows = [row.copy() for row in self._rows]
+        clone._pivots = list(self._pivots)
+        return clone
+
+
+def select_independent(
+    reference: np.ndarray,
+    candidates: List[np.ndarray],
+    limit: Optional[int] = None,
+    rtol: float = 1e-9,
+) -> List[int]:
+    """Greedy selection of candidates with independent differences.
+
+    Scans ``candidates`` in order (callers pass newest first) and keeps
+    index ``i`` iff ``candidates[i] - reference`` is linearly
+    independent of the differences already kept.  At most ``limit``
+    (default: the dimension) indices are returned.  This implements the
+    paper's rule of retaining the most recent measure points whose
+    difference vectors to the newest point stay independent.
+    """
+    reference = np.asarray(reference, dtype=float)
+    dim = reference.shape[0]
+    limit = dim if limit is None else min(limit, dim)
+    tracker = IndependenceTracker(dim, rtol)
+    chosen: List[int] = []
+    for index, candidate in enumerate(candidates):
+        if len(chosen) >= limit:
+            break
+        diff = np.asarray(candidate, dtype=float) - reference
+        if tracker.add(diff):
+            chosen.append(index)
+    return chosen

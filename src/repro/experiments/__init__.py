@@ -1,0 +1,81 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+- :mod:`repro.experiments.table1` — coordinator CPU times (Table 1).
+- :mod:`repro.experiments.figure2` — the base experiment (Figure 2).
+- :mod:`repro.experiments.table2` — convergence vs. skew (Table 2).
+- :mod:`repro.experiments.multiclass` — §7.4 multi-goal-class study.
+- :mod:`repro.experiments.overhead` — §7.5 overhead accounting.
+- :mod:`repro.experiments.calibration` — the §7.3 goal-range anchors.
+- :mod:`repro.experiments.convergence` — the §7.1 measurement protocol.
+"""
+
+from repro.experiments.calibration import (
+    GoalRange,
+    calibrate_goal_range,
+    measure_static_rt,
+)
+from repro.experiments.convergence import (
+    ConvergenceResult,
+    ConvergenceSettings,
+    convergence_experiment,
+    measure_convergence_run,
+)
+from repro.experiments.figure2 import Figure2Data, run_figure2
+from repro.experiments.multiclass import (
+    MulticlassResult,
+    SharingPoint,
+    doubled_cache_config,
+    multiclass_workload,
+    run_sharing_point,
+    run_sharing_sweep,
+)
+from repro.experiments.overhead import OverheadResult, run_overhead
+from repro.experiments.runner import (
+    Simulation,
+    build_base_experiment,
+    default_workload,
+)
+from repro.experiments.scaling import (
+    ScalingPoint,
+    run_complexity_scaling,
+    run_node_scaling,
+)
+from repro.experiments.table1 import (
+    PAPER_TABLE1,
+    Table1Row,
+    measure_row,
+    run_table1,
+)
+from repro.experiments.table2 import PAPER_TABLE2, run_table2
+
+__all__ = [
+    "ConvergenceResult",
+    "ConvergenceSettings",
+    "Figure2Data",
+    "GoalRange",
+    "MulticlassResult",
+    "OverheadResult",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "ScalingPoint",
+    "SharingPoint",
+    "Simulation",
+    "Table1Row",
+    "run_complexity_scaling",
+    "run_node_scaling",
+    "build_base_experiment",
+    "calibrate_goal_range",
+    "convergence_experiment",
+    "default_workload",
+    "doubled_cache_config",
+    "measure_convergence_run",
+    "measure_row",
+    "measure_static_rt",
+    "multiclass_workload",
+    "run_figure2",
+    "run_overhead",
+    "run_sharing_point",
+    "run_sharing_sweep",
+    "run_table1",
+    "run_table2",
+]

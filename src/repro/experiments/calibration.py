@@ -1,0 +1,103 @@
+"""Goal-range calibration (§7.3).
+
+To compare experiments, the paper draws response time goals randomly
+from ``[goal_min, goal_max]``, where ``goal_min`` is the goal class's
+response time when **2/3** of the aggregate cache is dedicated to it
+and ``goal_max`` the response time with **1/3** dedicated.  This module
+measures those two anchors by running the workload under static
+allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import SystemConfig
+from repro.sim.stats import OnlineStats
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class GoalRange:
+    """Calibrated admissible goal interval for a goal class."""
+
+    class_id: int
+    goal_min_ms: float  # RT with 2/3 of the aggregate cache dedicated
+    goal_max_ms: float  # RT with 1/3 of the aggregate cache dedicated
+
+    def contains(self, goal_ms: float) -> bool:
+        """Is ``goal_ms`` satisfiable per the calibration?"""
+        return self.goal_min_ms <= goal_ms <= self.goal_max_ms
+
+
+class _MeanSink:
+    """Workload sink recording per-class response time means."""
+
+    def __init__(self):
+        self.stats = {}
+
+    def on_arrival(self, node_id, class_id, now):
+        pass
+
+    def on_complete(self, node_id, class_id, response_ms, now):
+        self.stats.setdefault(class_id, OnlineStats()).add(response_ms)
+
+    def mean(self, class_id) -> float:
+        stats = self.stats.get(class_id)
+        return stats.mean if stats else 0.0
+
+
+def measure_static_rt(
+    workload: WorkloadSpec,
+    class_id: int,
+    dedicated_fraction: float,
+    config: Optional[SystemConfig] = None,
+    seed: int = 0,
+    policy: str = "cost",
+    warmup_ms: float = 60_000.0,
+    measure_ms: float = 90_000.0,
+) -> float:
+    """Steady-state mean RT of ``class_id`` under a static allocation.
+
+    ``dedicated_fraction`` of every node's reserved memory is dedicated
+    to the class for the whole run; the first ``warmup_ms`` are
+    discarded.
+    """
+    if not 0.0 <= dedicated_fraction <= 1.0:
+        raise ValueError("fraction must lie in [0, 1]")
+    config = config if config is not None else SystemConfig()
+    cluster = Cluster(config, seed=seed, policy=policy)
+    generator = WorkloadGenerator(cluster, workload)
+    generator.start()
+    nbytes = int(dedicated_fraction * config.node.buffer_bytes)
+    cluster.apply_allocation(class_id, [nbytes] * config.num_nodes)
+    cluster.env.run(until=warmup_ms)
+    sink = _MeanSink()
+    generator.sink = sink
+    cluster.env.run(until=warmup_ms + measure_ms)
+    return sink.mean(class_id)
+
+
+def calibrate_goal_range(
+    workload: WorkloadSpec,
+    class_id: int = 1,
+    config: Optional[SystemConfig] = None,
+    seed: int = 0,
+    policy: str = "cost",
+    warmup_ms: float = 60_000.0,
+    measure_ms: float = 90_000.0,
+) -> GoalRange:
+    """Measure the §7.3 goal interval for ``class_id``."""
+    rt_two_thirds = measure_static_rt(
+        workload, class_id, 2.0 / 3.0, config, seed, policy,
+        warmup_ms, measure_ms,
+    )
+    rt_one_third = measure_static_rt(
+        workload, class_id, 1.0 / 3.0, config, seed, policy,
+        warmup_ms, measure_ms,
+    )
+    low, high = sorted([rt_two_thirds, rt_one_third])
+    return GoalRange(class_id=class_id, goal_min_ms=low, goal_max_ms=high)

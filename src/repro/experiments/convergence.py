@@ -1,0 +1,173 @@
+"""The convergence-speed measurement protocol (§7.1).
+
+The paper measures how many iterations of the feedback-controlled loop
+the system needs to find a satisfying partitioning after a goal
+change:
+
+* goals are drawn randomly from the calibrated ``[goal_min, goal_max]``
+  interval (see :mod:`repro.experiments.calibration`) such that the new
+  goal "differs significantly from the current goal";
+* after a goal change, the number of observation intervals until the
+  first satisfied interval is one *convergence sample*;
+* the goal is changed again after four satisfied intervals;
+* experiments are replicated until the mean convergence speed is known
+  to within 1 iteration at 99 % statistical confidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.experiments.calibration import GoalRange, calibrate_goal_range
+from repro.experiments.runner import Simulation, default_workload
+from repro.cluster.config import SystemConfig
+from repro.sim.stats import mean_confidence_interval
+
+
+@dataclass
+class ConvergenceSettings:
+    """Everything that parameterizes one convergence measurement."""
+
+    skew: float = 0.0
+    goal_class: int = 1
+    config: SystemConfig = field(default_factory=SystemConfig)
+    arrival_rate_per_node: float = 0.02
+    policy: str = "cost"
+    #: Simulated warm time before the controller starts.
+    warmup_ms: float = 20_000.0
+    #: Intervals allowed for the initial (cold-start) convergence.
+    initial_intervals: int = 40
+    #: Goal changes measured per replication.
+    goal_changes_per_run: int = 5
+    #: Cap on intervals waited for convergence after one goal change.
+    max_intervals_per_change: int = 40
+    #: Satisfied intervals required before the next goal change.
+    satisfied_before_change: int = 4
+    #: Minimum relative difference between successive goals.
+    min_goal_change: float = 0.25
+
+
+@dataclass
+class ConvergenceResult:
+    """Summary of one convergence experiment (one skew value)."""
+
+    skew: float
+    mean_iterations: float
+    half_width: float
+    samples: List[int]
+    goal_range: GoalRange
+
+
+def _next_goal(rng, goal_range: GoalRange, current: float,
+               min_change: float) -> float:
+    """Random satisfiable goal differing significantly from ``current``."""
+    for _ in range(64):
+        candidate = rng.uniform(goal_range.goal_min_ms, goal_range.goal_max_ms)
+        if abs(candidate - current) > min_change * current:
+            return candidate
+    # Interval too narrow to differ by min_change: jump to the far end.
+    mid = 0.5 * (goal_range.goal_min_ms + goal_range.goal_max_ms)
+    return goal_range.goal_max_ms if current < mid else goal_range.goal_min_ms
+
+
+def measure_convergence_run(
+    settings: ConvergenceSettings,
+    goal_range: GoalRange,
+    seed: int,
+) -> List[int]:
+    """One replication: convergence samples for several goal changes."""
+    workload = default_workload(
+        settings.config,
+        goal_ms=0.5 * (goal_range.goal_min_ms + goal_range.goal_max_ms),
+        skew=settings.skew,
+        arrival_rate_per_node=settings.arrival_rate_per_node,
+    )
+    sim = Simulation(
+        config=settings.config,
+        workload=workload,
+        seed=seed,
+        policy=settings.policy,
+        warmup_ms=settings.warmup_ms,
+    )
+    sim.run(intervals=settings.initial_intervals)
+    rng = sim.cluster.rng.stream(f"goal-changes/{seed}")
+    samples: List[int] = []
+    current_goal = sim.controller.goal_of(settings.goal_class)
+    for _ in range(settings.goal_changes_per_run):
+        current_goal = _next_goal(
+            rng, goal_range, current_goal, settings.min_goal_change
+        )
+        sim.controller.set_goal(settings.goal_class, current_goal)
+        iterations = 0
+        satisfied_seen = 0
+        converged_at: Optional[int] = None
+        while iterations < settings.max_intervals_per_change:
+            sim.run(intervals=1)
+            iterations += 1
+            if sim.controller.series[settings.goal_class].satisfied[-1]:
+                if converged_at is None:
+                    converged_at = iterations
+                satisfied_seen += 1
+                if satisfied_seen >= settings.satisfied_before_change:
+                    break
+        samples.append(
+            converged_at if converged_at is not None
+            else settings.max_intervals_per_change
+        )
+    return samples
+
+
+def convergence_experiment(
+    settings: Optional[ConvergenceSettings] = None,
+    goal_range: Optional[GoalRange] = None,
+    target_half_width: float = 1.0,
+    confidence: float = 0.99,
+    min_replications: int = 3,
+    max_replications: int = 12,
+    base_seed: int = 100,
+) -> ConvergenceResult:
+    """Replicated convergence measurement for one skew setting.
+
+    Replication stops once the confidence interval half-width of the
+    mean drops below ``target_half_width`` iterations (the paper's
+    "accuracy of less than 1 iteration ... with a statistical
+    confidence of 99 percent"), or at ``max_replications``.
+    """
+    settings = settings if settings is not None else ConvergenceSettings()
+    if goal_range is None:
+        workload = default_workload(
+            settings.config,
+            skew=settings.skew,
+            arrival_rate_per_node=settings.arrival_rate_per_node,
+        )
+        goal_range = calibrate_goal_range(
+            workload,
+            class_id=settings.goal_class,
+            config=settings.config,
+            seed=base_seed,
+            policy=settings.policy,
+        )
+    samples: List[int] = []
+    mean, half = 0.0, float("inf")
+    replication = 0
+    while replication < max_replications:
+        samples.extend(
+            measure_convergence_run(
+                settings, goal_range, seed=base_seed + replication
+            )
+        )
+        replication += 1
+        if replication >= min_replications:
+            mean, half = mean_confidence_interval(samples, confidence)
+            if half <= target_half_width:
+                break
+    if replication < min_replications:
+        mean, half = mean_confidence_interval(samples, confidence)
+    return ConvergenceResult(
+        skew=settings.skew,
+        mean_iterations=mean,
+        half_width=half,
+        samples=samples,
+        goal_range=goal_range,
+    )

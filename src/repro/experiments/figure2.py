@@ -1,0 +1,164 @@
+"""Figure 2 — the base experiment (§7.2).
+
+Two classes (one goal, one no-goal), 4 page accesses per operation,
+disjoint page sets, skew 0.  The controller runs for ~80 observation
+intervals while the response time goal is re-randomized after every
+four satisfied intervals (so the figure exercises many different
+partitions, as in the paper).  The output is the triple of series the
+paper plots: observed response time, response time goal, and total
+systemwide dedicated cache.
+
+Run standalone::
+
+    python -m repro.experiments.figure2
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster.config import SystemConfig
+from repro.experiments.calibration import GoalRange, calibrate_goal_range
+from repro.experiments.convergence import _next_goal
+from repro.experiments.reporting import format_series
+from repro.experiments.runner import Simulation, default_workload
+
+
+@dataclass
+class Figure2Data:
+    """The three series of Figure 2, indexed by observation interval."""
+
+    intervals: List[int] = field(default_factory=list)
+    observed_rt: List[float] = field(default_factory=list)
+    goal: List[float] = field(default_factory=list)
+    dedicated_bytes: List[float] = field(default_factory=list)
+    satisfied: List[bool] = field(default_factory=list)
+    goal_range: Optional[GoalRange] = None
+
+    def satisfaction_ratio(self) -> float:
+        """Fraction of intervals in which the goal was satisfied."""
+        if not self.satisfied:
+            return 0.0
+        return sum(self.satisfied) / len(self.satisfied)
+
+    def rt_tracks_memory(self) -> float:
+        """Correlation between RT and dedicated memory (expected < 0)."""
+        n = len(self.observed_rt)
+        if n < 3:
+            return 0.0
+        xs, ys = self.dedicated_bytes, self.observed_rt
+        mx = sum(xs) / n
+        my = sum(ys) / n
+        cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+        vx = sum((x - mx) ** 2 for x in xs)
+        vy = sum((y - my) ** 2 for y in ys)
+        if vx <= 0 or vy <= 0:
+            return 0.0
+        return cov / (vx * vy) ** 0.5
+
+    def to_text(self) -> str:
+        """Figure data as an aligned text table."""
+        return format_series(
+            ["interval", "observed_rt_ms", "goal_ms", "dedicated_bytes"],
+            [self.intervals, self.observed_rt, self.goal,
+             self.dedicated_bytes],
+            title="Figure 2: response time, goal, and dedicated memory",
+        )
+
+    def to_chart(self) -> str:
+        """The figure itself: RT vs. goal, plus the dedicated memory."""
+        from repro.experiments.plotting import ascii_chart, overlay_chart
+
+        top = overlay_chart(
+            self.observed_rt, self.goal,
+            label="observed response time (*) vs goal (o), ms",
+        )
+        bottom = ascii_chart(
+            self.dedicated_bytes,
+            height=8,
+            label="total dedicated cache, bytes",
+        )
+        return top + "\n\n" + bottom
+
+    def save_csv(self, path: str) -> None:
+        """Export the three series as CSV."""
+        from repro.experiments.plotting import series_to_csv
+
+        series_to_csv(
+            ["interval", "observed_rt_ms", "goal_ms", "dedicated_bytes"],
+            [self.intervals, self.observed_rt, self.goal,
+             self.dedicated_bytes],
+            path=path,
+        )
+
+
+def run_figure2(
+    seed: int = 1,
+    intervals: int = 80,
+    skew: float = 0.0,
+    config: Optional[SystemConfig] = None,
+    goal_range: Optional[GoalRange] = None,
+    arrival_rate_per_node: float = 0.02,
+    satisfied_before_change: int = 4,
+    warmup_ms: float = 20_000.0,
+) -> Figure2Data:
+    """Run the base experiment and return the Figure 2 series."""
+    config = config if config is not None else SystemConfig()
+    workload = default_workload(
+        config, skew=skew, arrival_rate_per_node=arrival_rate_per_node
+    )
+    if goal_range is None:
+        goal_range = calibrate_goal_range(
+            workload, class_id=1, config=config, seed=seed
+        )
+    workload = workload.with_goal(
+        1, 0.5 * (goal_range.goal_min_ms + goal_range.goal_max_ms)
+    )
+    sim = Simulation(
+        config=config, workload=workload, seed=seed, warmup_ms=warmup_ms
+    )
+    rng = sim.cluster.rng.stream("figure2/goals")
+    state = {"satisfied_run": 0}
+
+    def goal_changer(controller, interval_index):
+        if controller.series[1].satisfied[-1]:
+            state["satisfied_run"] += 1
+        if state["satisfied_run"] >= satisfied_before_change:
+            state["satisfied_run"] = 0
+            new_goal = _next_goal(
+                rng, goal_range, controller.goal_of(1), 0.25
+            )
+            controller.set_goal(1, new_goal)
+
+    sim.controller.on_interval(goal_changer)
+    sim.run(intervals=intervals)
+
+    series = sim.controller.series[1]
+    data = Figure2Data(goal_range=goal_range)
+    n = len(series.goal.values)
+    for i in range(n):
+        data.intervals.append(i + 1)
+        data.observed_rt.append(
+            series.observed_rt.values[i]
+            if i < len(series.observed_rt.values) else float("nan")
+        )
+        data.goal.append(series.goal.values[i])
+        data.dedicated_bytes.append(series.dedicated_bytes.values[i])
+        data.satisfied.append(series.satisfied[i])
+    return data
+
+
+def main() -> None:
+    """CLI entry point: print the Figure 2 series."""
+    data = run_figure2()
+    print(data.to_text())
+    print()
+    print(f"goal range: [{data.goal_range.goal_min_ms:.2f}, "
+          f"{data.goal_range.goal_max_ms:.2f}] ms")
+    print(f"satisfaction ratio: {data.satisfaction_ratio():.2f}")
+    print(f"corr(RT, dedicated memory): {data.rt_tracks_memory():.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Plain-text tables and series matching the paper's presentation."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Render an aligned text table (paper-style)."""
+    str_rows: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    headers: Sequence[str],
+    columns: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Render parallel columns (a figure's data) as a text table."""
+    rows = list(zip(*columns))
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 1000 else f"{cell:.0f}"
+    return str(cell)

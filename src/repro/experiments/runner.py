@@ -1,0 +1,178 @@
+"""Simulation assembly: cluster + workload + goal-oriented controller.
+
+:class:`Simulation` is the top-level convenience object of the library:
+it wires a :class:`~repro.cluster.Cluster`, a
+:class:`~repro.workload.WorkloadGenerator`, and a controller (the
+goal-oriented one by default, or any baseline implementing the same
+interface) and runs the feedback loop for a number of observation
+intervals.  :func:`build_base_experiment` reproduces the §7.1/§7.2
+setup exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import SystemConfig
+from repro.core.controller import GoalOrientedController
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.spec import ClassSpec, WorkloadSpec, partition_pages
+
+
+class Simulation:
+    """A runnable goal-oriented buffer management experiment."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        workload: Optional[WorkloadSpec] = None,
+        seed: int = 0,
+        policy: str = "cost",
+        controller: Optional[GoalOrientedController] = None,
+        warmup_ms: float = 0.0,
+        **controller_kwargs,
+    ):
+        self.config = config if config is not None else SystemConfig()
+        if workload is None:
+            raise ValueError("a workload spec is required")
+        self.workload = workload
+        self.cluster = Cluster(self.config, seed=seed, policy=policy)
+        if controller is None:
+            goals = {
+                c.class_id: c.goal_ms for c in workload.goal_classes
+            }
+            controller = GoalOrientedController(
+                self.cluster, goals, **controller_kwargs
+            )
+        self.controller = controller
+        #: Created automatically when the workload contains writes.
+        self.txn_manager = None
+        if any(c.write_fraction > 0 for c in workload.classes):
+            from repro.txn.manager import TransactionManager
+
+            self.txn_manager = TransactionManager(self.cluster)
+        self.generator = WorkloadGenerator(
+            self.cluster, workload, sink=controller,
+            txn_manager=self.txn_manager,
+        )
+        self.warmup_ms = warmup_ms
+        self._started = False
+        self._controller_t0 = 0.0
+        self._intervals_requested = 0
+
+    # -- running -------------------------------------------------------
+
+    def start(self) -> None:
+        """Start workload and controller processes (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.generator.start()
+        if self.warmup_ms > 0:
+            # Let caches warm before the controller starts reacting.
+            self.cluster.env.run(until=self.warmup_ms)
+        self.controller.start()
+        self._controller_t0 = self.cluster.env.now
+
+    def run(self, intervals: int) -> None:
+        """Advance the simulation by ``intervals`` observation intervals.
+
+        The horizon lands just *past* the interval boundary so the
+        controller's end-of-interval processing is included.
+        """
+        if intervals < 0:
+            raise ValueError("intervals must be non-negative")
+        self.start()
+        self._intervals_requested += intervals
+        horizon = (
+            self._controller_t0
+            + self._intervals_requested * self.controller.interval_ms
+            + 1e-3
+        )
+        self.cluster.env.run(until=horizon)
+
+    def run_until(self, time_ms: float) -> None:
+        """Advance the simulation to absolute time ``time_ms``."""
+        self.start()
+        self.cluster.env.run(until=time_ms)
+
+    # -- convenience accessors ---------------------------------------------
+
+    @property
+    def env(self):
+        """The simulation environment."""
+        return self.cluster.env
+
+    def observed_rt(self, class_id: int) -> Optional[float]:
+        """Most recent interval's weighted mean RT of a goal class."""
+        series = self.controller.series[class_id].observed_rt
+        return series.values[-1] if len(series) else None
+
+    def satisfied(self, class_id: int) -> list:
+        """Per-interval goal-satisfaction flags of a goal class."""
+        return self.controller.series[class_id].satisfied
+
+    def dedicated_bytes(self, class_id: int) -> int:
+        """Current system-wide dedicated memory of a goal class."""
+        return self.cluster.total_dedicated_bytes(class_id)
+
+
+def default_workload(
+    config: SystemConfig,
+    goal_ms: float = 3.0,
+    skew: float = 0.0,
+    pages_per_op: int = 4,
+    arrival_rate_per_node: float = 0.02,
+) -> WorkloadSpec:
+    """The §7.2 base workload: one goal class, one no-goal class,
+    disjoint page sets, 4 pages per operation."""
+    goal_pages, nogoal_pages = partition_pages(config.num_pages, 2)
+    return WorkloadSpec(
+        classes=[
+            ClassSpec(
+                class_id=0,
+                goal_ms=None,
+                pages=nogoal_pages,
+                skew=skew,
+                pages_per_op=pages_per_op,
+                arrival_rate_per_node=arrival_rate_per_node,
+                name="no-goal",
+            ),
+            ClassSpec(
+                class_id=1,
+                goal_ms=goal_ms,
+                pages=goal_pages,
+                skew=skew,
+                pages_per_op=pages_per_op,
+                arrival_rate_per_node=arrival_rate_per_node,
+                name="goal",
+            ),
+        ]
+    )
+
+
+def build_base_experiment(
+    seed: int = 0,
+    goal_ms: float = 3.0,
+    skew: float = 0.0,
+    config: Optional[SystemConfig] = None,
+    policy: str = "cost",
+    arrival_rate_per_node: float = 0.02,
+    **controller_kwargs,
+) -> Simulation:
+    """Assemble the paper's base experiment (§7.1/§7.2)."""
+    config = config if config is not None else SystemConfig()
+    workload = default_workload(
+        config,
+        goal_ms=goal_ms,
+        skew=skew,
+        arrival_rate_per_node=arrival_rate_per_node,
+    )
+    return Simulation(
+        config=config,
+        workload=workload,
+        seed=seed,
+        policy=policy,
+        **controller_kwargs,
+    )

@@ -1,0 +1,60 @@
+"""Discrete-event simulation kernel.
+
+A small, self-contained process-based discrete-event simulation (DES)
+engine in the style of SimPy: simulation *processes* are Python
+generators that ``yield`` events (timeouts, resource requests, other
+processes) and are resumed by the :class:`~repro.sim.engine.Environment`
+when those events fire.
+
+The kernel is intentionally free of any database or networking
+vocabulary; the cluster substrate (:mod:`repro.cluster`) builds on top
+of it.
+
+Public API
+----------
+- :class:`Environment` — event loop and simulation clock.
+- :class:`Event`, :class:`Timeout`, :class:`Process` — awaitables.
+- :class:`AnyOf`, :class:`AllOf` — event combinators.
+- :class:`Resource`, :class:`PriorityResource` — queued servers.
+- :class:`RandomStreams` — named, reproducible random streams.
+- :mod:`repro.sim.stats` — online statistics and time series.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import PriorityResource, Resource
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import (
+    OnlineStats,
+    P2Quantile,
+    TimeSeries,
+    WindowStats,
+    mean_confidence_interval,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "OnlineStats",
+    "P2Quantile",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "TimeSeries",
+    "Timeout",
+    "WindowStats",
+    "mean_confidence_interval",
+]

@@ -1,0 +1,378 @@
+"""Core event loop of the discrete-event simulation kernel.
+
+The design follows the classic process-interaction style: simulation
+logic lives in Python generators.  A generator yields :class:`Event`
+instances; the :class:`Environment` resumes the generator when the
+yielded event is *triggered*.  Triggering an event schedules its
+callbacks at the current simulation time; the event heap orders
+callbacks by ``(time, priority, sequence)`` so that the simulation is
+fully deterministic for a fixed seed.
+
+Time is a ``float`` in **milliseconds** by convention throughout this
+project, although the kernel itself is unit-agnostic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+#: Scheduling priorities.  URGENT callbacks (event chain plumbing) run
+#: before NORMAL callbacks scheduled for the same simulation time.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for illegal kernel operations (e.g. re-triggering an event)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been interrupted by another one.
+
+    The interrupting cause is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """An occurrence that processes can wait for.
+
+    An event starts *pending*, becomes *triggered* when :meth:`succeed`
+    or :meth:`fail` is called (which schedules it on the event queue),
+    and is *processed* once the environment has run its callbacks.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully (not failed)."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional ``value``."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, URGENT)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting for the
+        event.
+        """
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, URGENT)
+        return self
+
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run the callback immediately so that
+            # late waiters do not deadlock.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        env._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an event: it triggers (with the generator's
+    return value) when the generator terminates, so other processes may
+    ``yield`` it to wait for completion.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True  # never counts as an unhandled failure
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, URGENT)
+        # Unsubscribe from the event the process was waiting on: it will
+        # be resumed by the interrupt instead.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            if event._ok:
+                try:
+                    target = self._generator.send(event._value)
+                except StopIteration as stop:
+                    self._terminate(True, stop.value)
+                    break
+                except BaseException as exc:
+                    self._terminate(False, exc)
+                    break
+            else:
+                # Mark the failure as handled: it is being delivered.
+                event._defused = True
+                try:
+                    target = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self._terminate(True, stop.value)
+                    break
+                except BaseException as exc:
+                    self._terminate(False, exc)
+                    break
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process yielded a non-event: {target!r}"
+                )
+                event = Event(self.env)
+                event._ok = False
+                event._value = exc
+                continue
+            if target.processed:
+                event = target
+                continue
+            target._add_callback(self._resume)
+            self._target = target
+            break
+        self.env._active_process = None
+
+    def _terminate(self, ok: bool, value: Any) -> None:
+        self._target = None
+        self._ok = ok
+        self._value = value
+        self.env._schedule(self, URGENT)
+
+
+class _MultiEvent(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf`.
+
+    The value is a dict mapping the index of each *fired* child event
+    to its value, collected at the moment the combinator triggers.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._results: dict = {}
+        self._done = 0
+        for event in self._events:
+            if not isinstance(event, Event):
+                raise TypeError(f"{event!r} is not an Event")
+        if not self._events:
+            self._ok = True
+            self._value = {}
+            env._schedule(self, URGENT)
+            return
+        for index, event in enumerate(self._events):
+            event._add_callback(
+                lambda fired, index=index: self._on_child(index, fired)
+            )
+
+    def _on_child(self, index: int, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._results[index] = event._value
+        self._done += 1
+        if self._check(self._done, len(self._events)):
+            self.succeed(dict(self._results))
+
+    def _check(self, done: int, total: int) -> bool:
+        raise NotImplementedError
+
+
+class AnyOf(_MultiEvent):
+    """Fires when any of the given events has fired."""
+
+    def _check(self, done: int, total: int) -> bool:
+        return done > 0
+
+
+class AllOf(_MultiEvent):
+    """Fires when all of the given events have fired."""
+
+    def _check(self, done: int, total: int) -> bool:
+        return done == total
+
+
+class Environment:
+    """Event loop, simulation clock, and process factory."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []  # (time, priority, seq, event)
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- factories -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` from ``generator``."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling ------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._seq, event)
+        )
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not getattr(event, "_defused", False):
+            # A failed event nobody waited for: surface the error
+            # instead of silently dropping it.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until that simulation time), or an :class:`Event` (run until
+        it is processed, returning its value).
+        """
+        stop_at = None
+        stop_event = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+            else:
+                stop_at = float(until)
+                if stop_at < self._now:
+                    raise ValueError("until lies in the past")
+        while self._queue:
+            if stop_at is not None and self.peek() >= stop_at:
+                self._now = stop_at
+                return None
+            if stop_event is not None and stop_event.processed:
+                break
+            self.step()
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise SimulationError(
+                    "simulation ended before the awaited event fired"
+                )
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        if stop_at is not None:
+            self._now = stop_at
+        return None

@@ -1,0 +1,155 @@
+"""Queued resources for the simulation kernel.
+
+A :class:`Resource` models a server (or pool of servers) with a FIFO
+request queue — e.g. a disk arm, a CPU, or the shared network medium.
+Processes acquire it with::
+
+    with resource.request() as req:
+        yield req                      # wait for our turn
+        yield env.timeout(service_ms)  # hold the resource
+
+and release it automatically when the ``with`` block exits.
+:class:`PriorityResource` additionally orders waiting requests by a
+numeric priority (lower = more urgent), FIFO within equal priorities.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from repro.sim.engine import Environment, Event
+
+
+class Request(Event):
+    """A pending acquisition of a :class:`Resource`.
+
+    Usable as a context manager; exiting the context releases the
+    resource (or cancels the request if it never got the resource).
+    """
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._enqueue(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+    @property
+    def wait_time(self) -> float:
+        """Time between request creation and grant (valid once granted)."""
+        return self.value  # the grant triggers with the wait time
+
+
+class Resource:
+    """A server with ``capacity`` units and a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self._waiting: List[Request] = []
+        # Utilization accounting.
+        self._busy_since: Optional[float] = None
+        self._busy_time = 0.0
+        self._grants = 0
+        self._wait_total = 0.0
+
+    # -- public API ------------------------------------------------
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Create a request; ``yield`` it to wait for the grant."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Release a granted request (or cancel a waiting one)."""
+        if request in self.users:
+            self.users.remove(request)
+            if not self.users and self._busy_since is not None:
+                self._busy_time += self.env.now - self._busy_since
+                self._busy_since = None
+            self._grant_next()
+        else:
+            self._cancel(request)
+
+    @property
+    def count(self) -> int:
+        """Number of granted (in-service) requests."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests still waiting."""
+        return len(self._waiting)
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time at least one unit was busy."""
+        elapsed = self.env.now if elapsed is None else elapsed
+        if elapsed <= 0:
+            return 0.0
+        busy = self._busy_time
+        if self._busy_since is not None:
+            busy += self.env.now - self._busy_since
+        return busy / elapsed
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean queueing delay over all grants so far."""
+        return self._wait_total / self._grants if self._grants else 0.0
+
+    # -- internals -------------------------------------------------
+
+    def _enqueue(self, request: Request) -> None:
+        request._enqueued_at = self.env.now
+        self._waiting.append(request)
+        self._grant_next()
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            pass
+
+    def _pop_next(self) -> Request:
+        return self._waiting.pop(0)
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self.users) < self.capacity:
+            request = self._pop_next()
+            self.users.append(request)
+            if self._busy_since is None:
+                self._busy_since = self.env.now
+            waited = self.env.now - request._enqueued_at
+            self._grants += 1
+            self._wait_total += waited
+            request.succeed(waited)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue is ordered by request priority."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._heap: List = []
+        self._seq = 0
+
+    def _enqueue(self, request: Request) -> None:
+        request._enqueued_at = self.env.now
+        heapq.heappush(self._heap, (request.priority, self._seq, request))
+        self._seq += 1
+        self._waiting.append(request)
+        self._grant_next()
+
+    def _pop_next(self) -> Request:
+        while True:
+            _, _, request = heapq.heappop(self._heap)
+            if request in self._waiting:
+                self._waiting.remove(request)
+                return request

@@ -1,0 +1,270 @@
+"""Online statistics used by agents, experiments, and reports.
+
+Everything here is incremental (Welford's algorithm) so that agents can
+track response times over long runs without storing samples, plus a
+small set of batch helpers (confidence intervals, time series) for the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+class OnlineStats:
+    """Incremental mean / variance / extrema (Welford)."""
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the statistics."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 for fewer than two samples)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """stddev / mean (0.0 when the mean is zero)."""
+        return self.stddev / self.mean if self.mean else 0.0
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Return a new OnlineStats combining both sample sets."""
+        merged = OnlineStats()
+        merged.count = self.count + other.count
+        if merged.count == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged._mean = (
+            self._mean * self.count + other._mean * other.count
+        ) / merged.count
+        merged._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / merged.count
+        )
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        return merged
+
+    def reset(self) -> None:
+        """Discard all samples."""
+        self.__init__()
+
+
+class WindowStats:
+    """Per-observation-interval statistics that can be snapshot and reset.
+
+    Agents use one of these per (class, node): samples accumulate during
+    an observation interval; at the interval boundary the coordinator
+    snapshots the window and the agent resets it.
+    """
+
+    def __init__(self):
+        self.window = OnlineStats()
+        self.lifetime = OnlineStats()
+
+    def add(self, value: float) -> None:
+        """Record a sample in both the window and lifetime statistics."""
+        self.window.add(value)
+        self.lifetime.add(value)
+
+    def roll(self) -> OnlineStats:
+        """Return the finished window and start a new one."""
+        finished = self.window
+        self.window = OnlineStats()
+        return finished
+
+
+class TimeSeries:
+    """An append-only (time, value) series for plots and reports."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        """Record ``value`` at simulation time ``time``."""
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def last(self) -> Tuple[float, float]:
+        """Most recent (time, value) pair."""
+        return self.times[-1], self.values[-1]
+
+    def mean(self) -> float:
+        """Mean of the recorded values."""
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+
+class P2Quantile:
+    """Streaming quantile estimate (Jain & Chlamtac's P² algorithm).
+
+    Tracks one quantile (e.g. the p95 response time) in O(1) memory
+    without storing samples: five markers move along the empirical
+    distribution using piecewise-parabolic interpolation.  Useful for
+    tail-latency goals, which mean-based SLAs (the paper's setting)
+    do not capture.
+    """
+
+    def __init__(self, quantile: float):
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must lie in (0, 1)")
+        self.quantile = quantile
+        self._initial: List[float] = []
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments: List[float] = []
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the estimate."""
+        self.count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                q = self.quantile
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [
+                    1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0
+                ]
+                self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+            return
+        heights = self._heights
+        positions = self._positions
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, pos = self._heights, self._positions
+        return h[i] + step / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + step)
+            * (h[i + 1] - h[i]) / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - step)
+            * (h[i] - h[i - 1]) / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, pos = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (exact until 5 samples exist)."""
+        if self.count == 0:
+            return 0.0
+        if len(self._initial) < 5 or not self._heights:
+            ordered = sorted(self._initial)
+            index = min(
+                int(self.quantile * len(ordered)), len(ordered) - 1
+            )
+            return ordered[index]
+        return self._heights[2]
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], confidence: float = 0.99
+) -> Tuple[float, float]:
+    """Return (mean, half-width) of a t-based confidence interval.
+
+    Used by the convergence experiments, which replicate until the
+    half-width drops below one iteration at 99 % confidence (§7.1).
+    """
+    n = len(samples)
+    if n == 0:
+        return 0.0, math.inf
+    mean = sum(samples) / n
+    if n == 1:
+        return mean, math.inf
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    try:
+        from scipy.stats import t as t_dist
+
+        critical = float(t_dist.ppf(0.5 + confidence / 2.0, n - 1))
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        critical = 2.576  # normal approximation at 99 %
+    half_width = critical * math.sqrt(variance / n)
+    return mean, half_width
+
+
+def replicate_until(
+    run, target_half_width: float, confidence: float = 0.99,
+    min_replications: int = 3, max_replications: int = 200,
+) -> Tuple[float, float, List[float]]:
+    """Replicate ``run(replication_index)`` until the CI is tight enough.
+
+    Returns (mean, half_width, samples).  ``run`` must return one scalar
+    sample per call.  Mirrors the paper's protocol of repeating
+    experiments until the accuracy is below 1 iteration at 99 %
+    confidence.
+    """
+    samples: List[float] = []
+    half_width = math.inf
+    mean = 0.0
+    while len(samples) < max_replications:
+        samples.append(float(run(len(samples))))
+        if len(samples) >= min_replications:
+            mean, half_width = mean_confidence_interval(samples, confidence)
+            if half_width <= target_half_width:
+                break
+    return mean, half_width, samples

@@ -1,0 +1,43 @@
+"""Transactional update support (the §3 extension).
+
+The paper's evaluation is read-only, but §3 spells out how updates fit
+the model: distributed two-phase locking [10] for concurrency control,
+the two-phase commit protocol [15] for distributed atomicity, and
+write-ahead logging [4] for durability.  This package implements all
+three on top of the cluster substrate, plus cached-copy invalidation
+to keep the remote caching layer coherent under writes.
+"""
+
+from repro.txn.locks import (
+    DeadlockError,
+    LockManager,
+    LockMode,
+    WaitForGraph,
+)
+from repro.txn.manager import Transaction, TransactionManager, TxnStatus
+from repro.txn.recovery import RecoveryReport, recover_all, recover_node
+from repro.txn.twophase import TwoPhaseCommit
+from repro.txn.wal import (
+    LOG_RECORD_BYTES,
+    LogRecord,
+    LogRecordKind,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "DeadlockError",
+    "LOG_RECORD_BYTES",
+    "LockManager",
+    "LockMode",
+    "LogRecord",
+    "LogRecordKind",
+    "RecoveryReport",
+    "Transaction",
+    "recover_all",
+    "recover_node",
+    "TransactionManager",
+    "TwoPhaseCommit",
+    "TxnStatus",
+    "WaitForGraph",
+    "WriteAheadLog",
+]

@@ -1,0 +1,84 @@
+"""Crash recovery: redo from the WAL and resolve in-doubt transactions.
+
+After a node crash, the durable prefix of its write-ahead log defines
+what survives.  Recovery proceeds as the classic presumed-nothing 2PC
+restart protocol:
+
+1. transactions with a durable COMMIT record are redone;
+2. transactions with a durable PREPARE but no local outcome are *in
+   doubt*: the recovering participant asks around — in this model it
+   inspects the other nodes' durable logs (the coordinator forced its
+   COMMIT before telling anyone, so a commit decision is always
+   discoverable); a decision found nowhere means the coordinator never
+   reached the commit point, and presumed-nothing resolves to abort;
+3. everything else (updates of unresolved transactions) is discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.txn.wal import LogRecordKind, WriteAheadLog
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of recovering one node."""
+
+    node_id: int
+    #: Transactions with a local durable COMMIT.
+    locally_committed: Set[int] = field(default_factory=set)
+    #: Transactions that were in doubt (durable PREPARE, no outcome).
+    in_doubt: Set[int] = field(default_factory=set)
+    #: In-doubt transactions resolved to commit via another node's log.
+    resolved_commit: Set[int] = field(default_factory=set)
+    #: In-doubt transactions resolved to abort (no decision anywhere).
+    resolved_abort: Set[int] = field(default_factory=set)
+    #: page id -> payload reinstated by redo.
+    redone_pages: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def committed(self) -> Set[int]:
+        """All transactions whose effects survive on this node."""
+        return self.locally_committed | self.resolved_commit
+
+
+def recover_node(
+    logs: Dict[int, WriteAheadLog], node_id: int
+) -> RecoveryReport:
+    """Recover ``node_id`` from the durable logs of the whole system."""
+    if node_id not in logs:
+        raise KeyError(f"no log for node {node_id}")
+    log = logs[node_id]
+    report = RecoveryReport(node_id=node_id)
+    report.locally_committed = log.committed_transactions()
+    report.in_doubt = log.prepared_transactions()
+
+    for txn_id in report.in_doubt:
+        decided_commit = any(
+            txn_id in other.committed_transactions()
+            for other_id, other in logs.items()
+            if other_id != node_id
+        )
+        if decided_commit:
+            report.resolved_commit.add(txn_id)
+        else:
+            report.resolved_abort.add(txn_id)
+
+    committed = report.committed
+    for record in log.durable_records():
+        if (
+            record.kind is LogRecordKind.UPDATE
+            and record.txn_id in committed
+            and record.page_id is not None
+        ):
+            report.redone_pages[record.page_id] = record.payload
+    return report
+
+
+def recover_all(
+    logs: Dict[int, WriteAheadLog]
+) -> Dict[int, RecoveryReport]:
+    """Recover every node (whole-cluster restart)."""
+    return {node_id: recover_node(logs, node_id) for node_id in logs}

@@ -1,0 +1,81 @@
+"""Closed-loop clients: an alternative to the open arrival streams.
+
+The paper's experiments use an open system (exponential arrivals,
+§7.1).  Interactive database populations are often better described as
+*closed*: a fixed number of clients per node, each thinking for an
+exponential time and then issuing the next operation.  Throughput then
+self-regulates with the response time — useful for studying the
+partitioner under feedback-coupled load, where taking memory from a
+class also reduces the load it generates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.cluster import Cluster
+from repro.workload.generator import NullSink, WorkloadSink
+from repro.workload.spec import ClassSpec
+from repro.workload.zipf import ZipfPagePicker
+
+
+class ClosedLoopDriver:
+    """A population of think/request clients for one workload class."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        class_spec: ClassSpec,
+        clients_per_node: int,
+        think_time_ms: float,
+        sink: Optional[WorkloadSink] = None,
+    ):
+        if clients_per_node < 1:
+            raise ValueError("need at least one client per node")
+        if think_time_ms <= 0:
+            raise ValueError("think time must be positive")
+        self.cluster = cluster
+        self.class_spec = class_spec
+        self.clients_per_node = clients_per_node
+        self.think_time_ms = think_time_ms
+        self.sink = sink if sink is not None else NullSink()
+        self._picker = ZipfPagePicker(class_spec.pages, class_spec.skew)
+        self.operations_completed = 0
+        self.in_flight = 0
+
+    def start(self) -> None:
+        """Spawn every client process (call once, before env.run)."""
+        for node_id in range(self.cluster.num_nodes):
+            for client_id in range(self.clients_per_node):
+                self.cluster.env.process(
+                    self._client(node_id, client_id)
+                )
+
+    def throughput(self) -> float:
+        """Completed operations per ms of simulated time so far."""
+        now = self.cluster.env.now
+        return self.operations_completed / now if now > 0 else 0.0
+
+    def _client(self, node_id: int, client_id: int):
+        env = self.cluster.env
+        rng = self.cluster.rng
+        spec = self.class_spec
+        think_stream = f"closed/think/n{node_id}/k{client_id}"
+        page_stream = f"closed/pages/n{node_id}/k{client_id}"
+        while True:
+            yield env.timeout(
+                rng.exponential(think_stream, self.think_time_ms)
+            )
+            started = env.now
+            self.sink.on_arrival(node_id, spec.class_id, started)
+            self.in_flight += 1
+            for _ in range(spec.pages_per_op):
+                page_id = self._picker.pick(rng.stream(page_stream))
+                yield from self.cluster.access_page(
+                    node_id, page_id, spec.class_id
+                )
+            self.in_flight -= 1
+            self.operations_completed += 1
+            self.sink.on_complete(
+                node_id, spec.class_id, env.now - started, env.now
+            )

@@ -1,0 +1,56 @@
+"""Zipfian page selection (§7.1).
+
+The paper draws page identities from a Zipfian distribution with skew
+parameter theta: the access frequency of the page with rank ``p``
+(1-based) is proportional to ``1 / p**theta``.  ``theta = 0`` is the
+uniform distribution; ``theta = 1`` is classic Zipf ("very highly
+skewed" in the paper's words).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Sequence
+
+
+class ZipfSampler:
+    """Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^theta."""
+
+    def __init__(self, num_items: int, theta: float):
+        if num_items < 1:
+            raise ValueError("need at least one item")
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self.num_items = num_items
+        self.theta = theta
+        cumulative: List[float] = []
+        total = 0.0
+        for rank in range(1, num_items + 1):
+            total += rank ** (-theta)
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank in [0, num_items)."""
+        u = rng.random() * self._total
+        return bisect.bisect_left(self._cumulative, u)
+
+    def probability(self, rank: int) -> float:
+        """Exact access probability of ``rank`` (0-based)."""
+        if not 0 <= rank < self.num_items:
+            raise ValueError("rank out of range")
+        return (rank + 1) ** (-self.theta) / self._total
+
+
+class ZipfPagePicker:
+    """Maps Zipf ranks onto an explicit, ordered page set."""
+
+    def __init__(self, pages: Sequence[int], theta: float):
+        self.pages = list(pages)
+        self.sampler = ZipfSampler(len(self.pages), theta)
+
+    def pick(self, rng: random.Random) -> int:
+        """Draw one page id from the set."""
+        return self.pages[self.sampler.sample(rng)]

@@ -1,0 +1,48 @@
+"""Shared fixtures: scaled-down configurations that keep DES tests fast.
+
+The fast config shrinks the database and buffers by ~8x and shortens
+the observation interval; ratios (cache/database, pages per op) stay
+close to the paper's so behaviours transfer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.config import NodeParameters, SystemConfig
+from repro.workload.spec import ClassSpec, WorkloadSpec, partition_pages
+
+
+@pytest.fixture
+def fast_config() -> SystemConfig:
+    """3 nodes, 256 KB cache each, 400-page database, 2 s intervals."""
+    return SystemConfig(
+        num_nodes=3,
+        num_pages=400,
+        node=NodeParameters(buffer_bytes=256 * 1024),
+        observation_interval_ms=2000.0,
+    )
+
+
+@pytest.fixture
+def fast_workload(fast_config) -> WorkloadSpec:
+    """One goal class + no-goal class on disjoint halves of the DB."""
+    nogoal_pages, goal_pages = partition_pages(fast_config.num_pages, 2)
+    return WorkloadSpec(
+        classes=[
+            ClassSpec(
+                class_id=0,
+                goal_ms=None,
+                pages=nogoal_pages,
+                pages_per_op=4,
+                arrival_rate_per_node=0.02,
+            ),
+            ClassSpec(
+                class_id=1,
+                goal_ms=5.0,
+                pages=goal_pages,
+                pages_per_op=4,
+                arrival_rate_per_node=0.02,
+            ),
+        ]
+    )

@@ -1,0 +1,98 @@
+"""Meta-tests: public API completeness and documentation.
+
+A library release needs every public module, class, and function to
+carry a docstring, and every name exported via ``__all__`` to resolve.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+    if not name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), (
+            f"{module_name}.__all__ lists missing name {name!r}"
+        )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+    assert not undocumented, (
+        f"{module_name}: undocumented public items {undocumented}"
+    )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_methods_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for cls_name, cls in vars(module).items():
+        if cls_name.startswith("_") or not inspect.isclass(cls):
+            continue
+        if cls.__module__ != module_name:
+            continue
+        for meth_name, meth in vars(cls).items():
+            if meth_name.startswith("_"):
+                continue
+            if not (
+                inspect.isfunction(meth)
+                or isinstance(meth, property)
+            ):
+                continue
+            doc = (
+                meth.fget.__doc__ if isinstance(meth, property)
+                else meth.__doc__
+            )
+            if doc and doc.strip():
+                continue
+            # An override inherits the contract documented on a base
+            # class (Python does not propagate docstrings itself).
+            inherited = any(
+                getattr(getattr(base, meth_name, None), "__doc__", None)
+                for base in cls.__mro__[1:]
+            )
+            if not inherited:
+                undocumented.append(f"{cls_name}.{meth_name}")
+    assert not undocumented, (
+        f"{module_name}: undocumented methods {undocumented}"
+    )
+
+
+def test_top_level_api_surface():
+    for name in repro.__all__:
+        assert hasattr(repro, name)
+    assert repro.__version__

@@ -1,0 +1,152 @@
+"""Unit + property tests for the CLOCK and 2Q replacement policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bufmgr.clock import ClockPool
+from repro.bufmgr.twoq import TwoQPool
+
+
+# -- CLOCK ---------------------------------------------------------------
+
+
+def test_clock_evicts_unreferenced_first():
+    pool = ClockPool(capacity=2)
+    pool.insert(1)
+    pool.insert(2)
+    pool.touch(1)  # give page 1 a second chance
+    assert pool.insert(3) == [2]
+    assert 1 in pool
+
+
+def test_clock_sweep_clears_bits():
+    pool = ClockPool(capacity=2)
+    pool.insert(1)
+    pool.insert(2)
+    pool.touch(1)
+    pool.touch(2)
+    # All referenced: the hand sweeps, clears both bits, then evicts
+    # the first page it revisits (page 1, the oldest).
+    assert pool.insert(3) == [1]
+
+
+def test_clock_approximates_lru_on_simple_pattern():
+    pool = ClockPool(capacity=3)
+    for page in (1, 2, 3):
+        pool.insert(page)
+    pool.touch(1)
+    pool.touch(3)
+    assert pool.insert(4) == [2]
+
+
+def test_clock_resize_and_remove():
+    pool = ClockPool(capacity=4)
+    for page in (1, 2, 3, 4):
+        pool.insert(page)
+    pool.touch(4)
+    evicted = pool.resize(2)
+    assert len(evicted) == 2
+    assert len(pool) == 2
+    assert pool.remove(next(iter(pool.page_ids())))
+
+
+# -- 2Q ---------------------------------------------------------------
+
+
+def test_twoq_first_touch_goes_to_probation():
+    pool = TwoQPool(capacity=8)
+    pool.insert(1)
+    assert 1 in pool
+    assert pool.hot_pages == 0
+
+
+def test_twoq_ghost_rereference_promotes_to_hot():
+    pool = TwoQPool(capacity=4, in_fraction=0.25, out_fraction=1.0)
+    # Fill probation beyond its share so page 1 becomes a ghost.
+    evicted = []
+    for page in (1, 2, 3, 4, 5):
+        evicted += pool.insert(page)
+    assert 1 in evicted
+    assert pool.ghost_pages >= 1
+    pool.insert(1)  # remembered -> admitted hot
+    assert pool.hot_pages == 1
+
+
+def test_twoq_scan_does_not_pollute_hot_queue():
+    """A long one-touch scan must leave the hot queue untouched."""
+    pool = TwoQPool(capacity=8, in_fraction=0.25, out_fraction=0.5)
+    # Establish hot pages 100, 101 via ghost re-reference.
+    for page in (100, 101):
+        pool.insert(page)
+    for page in range(1, 10):
+        pool.insert(page)            # pushes 100/101 out through A1out
+    for page in (100, 101):
+        pool.insert(page)            # back in, now hot
+    hot_before = pool.hot_pages
+    assert hot_before == 2
+    for page in range(200, 260):     # the scan
+        pool.insert(page)
+    assert 100 in pool and 101 in pool
+    assert pool.hot_pages == hot_before
+
+
+def test_twoq_probation_hits_do_not_promote():
+    pool = TwoQPool(capacity=8)
+    pool.insert(1)
+    pool.touch(1)
+    assert pool.hot_pages == 0
+
+
+def test_twoq_parameter_validation():
+    with pytest.raises(ValueError):
+        TwoQPool(capacity=4, in_fraction=0.0)
+    with pytest.raises(ValueError):
+        TwoQPool(capacity=4, out_fraction=0.0)
+
+
+@pytest.mark.parametrize("pool_cls", [ClockPool, TwoQPool])
+def test_zero_capacity(pool_cls):
+    pool = pool_cls(0)
+    assert pool.insert(1) == [1]
+    assert len(pool) == 0
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.lists(st.integers(min_value=0, max_value=40),
+             min_size=1, max_size=300),
+)
+@settings(max_examples=80)
+def test_property_capacity_and_consistency(capacity, pages):
+    """Both policies: size bound and membership/iteration agreement."""
+    for pool in (ClockPool(capacity), TwoQPool(capacity)):
+        present = set()
+        for page in pages:
+            evicted = pool.insert(page)
+            present.add(page)
+            present -= set(evicted)
+            assert len(pool) <= capacity
+            assert present == set(pool.page_ids())
+            for cached in present:
+                assert cached in pool
+
+
+def test_manager_accepts_new_policies():
+    from repro.bufmgr.costs import CostObserver
+    from repro.bufmgr.heat import GlobalHeatRegistry
+    from repro.bufmgr.manager import NodeBufferManager
+
+    for policy in ("clock", "2q"):
+        manager = NodeBufferManager(
+            node_id=0, total_bytes=8 * 4096, page_size=4096,
+            clock=lambda: 0.0, global_heat=GlobalHeatRegistry(),
+            costs=CostObserver(), is_last_copy=lambda p, n: False,
+            policy=policy,
+        )
+        manager.set_dedicated_bytes(1, 2 * 4096)
+        for page in range(6):
+            hit, _ = manager.probe(page, 1)
+            if not hit:
+                manager.admit(page, 1)
+        assert manager.cached_pages()

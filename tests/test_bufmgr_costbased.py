@@ -1,0 +1,137 @@
+"""Unit tests for the cost-based benefit replacement (§6)."""
+
+import pytest
+
+from repro.bufmgr.costbased import BenefitModel, CostBasedPool
+from repro.bufmgr.costs import AccessLevel, CostObserver
+from repro.bufmgr.heat import GlobalHeatRegistry, HeatTracker
+
+
+class ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_model(last_copies=(), node_id=0):
+    clock = ManualClock()
+    local = HeatTracker(k=2)
+    registry = GlobalHeatRegistry(k=2)
+    costs = CostObserver()
+    model = BenefitModel(
+        node_id=node_id,
+        local_heat=local,
+        global_heat=registry,
+        costs=costs,
+        is_last_copy=lambda page, node: page in last_copies,
+        clock=clock,
+    )
+    return model, clock, local, registry, costs
+
+
+def test_benefit_zero_for_cold_page():
+    model, clock, *_ = make_model()
+    clock.now = 100.0
+    assert model.benefit(1) == 0.0
+
+
+def test_benefit_grows_with_local_heat():
+    model, clock, local, _, _ = make_model()
+    local.record(1, 40.0)
+    local.record(1, 50.0)   # heat = 2 / 10
+    local.record(2, 0.0)
+    local.record(2, 50.0)   # heat = 2 / 50
+    clock.now = 50.0
+    assert model.benefit(1) > model.benefit(2)
+
+
+def test_last_copy_priced_higher():
+    """Dropping the last cached copy forces disk accesses system-wide."""
+    model, clock, local, registry, _ = make_model(last_copies={1})
+    for page in (1, 2):
+        local.record(page, 0.0)
+        local.record(page, 10.0)
+        registry.record(page, 0.0)
+        registry.record(page, 10.0)
+    clock.now = 10.0
+    assert model.benefit(1) > model.benefit(2)
+
+
+def test_benefit_uses_measured_costs():
+    model, clock, local, _, costs = make_model()
+    local.record(1, 0.0)
+    local.record(1, 10.0)
+    clock.now = 10.0
+    before = model.benefit(1)
+    # Remote accesses got much more expensive -> keeping pages locally
+    # is worth more.
+    for _ in range(50):
+        costs.observe(AccessLevel.REMOTE, 5.0)
+    after = model.benefit(1)
+    assert after > before
+
+
+def test_pool_evicts_lowest_benefit():
+    model, clock, local, _, _ = make_model()
+    pool = CostBasedPool(capacity=2, model=model)
+    # Page 10 hot, page 20 cold.
+    local.record(10, 0.0)
+    local.record(10, 1.0)
+    local.record(20, 0.0)
+    clock.now = 50.0
+    pool.insert(10)
+    pool.insert(20)
+    pool.touch(10)
+    pool.touch(20)
+    evicted = pool.insert(30)
+    assert evicted == [20]
+    assert 10 in pool
+
+
+def test_pool_revalidates_stale_entries():
+    """A page whose heat collapsed after insertion must become victim."""
+    model, clock, local, _, _ = make_model()
+    pool = CostBasedPool(capacity=2, model=model, revalidate=2)
+    local.record(1, 0.0)
+    local.record(1, 1.0)
+    local.record(2, 0.0)
+    local.record(2, 1.0)
+    clock.now = 1.0
+    pool.insert(1)
+    pool.insert(2)
+    # Later, page 2 is reheated; page 1 cools down.
+    clock.now = 1000.0
+    local.record(2, 999.0)
+    local.record(2, 1000.0)
+    pool.touch(2)
+    evicted = pool.insert(3)
+    assert evicted == [1]
+
+
+def test_pool_heap_compaction_keeps_consistency():
+    model, clock, local, _, _ = make_model()
+    pool = CostBasedPool(capacity=8, model=model)
+    for round_ in range(40):
+        clock.now = float(round_)
+        for page in range(16):
+            if page in pool:
+                pool.touch(page)
+            else:
+                pool.insert(page)
+    assert len(pool) == 8
+    assert set(pool.page_ids()) <= set(range(16))
+
+
+def test_benefit_of_requires_cached_page():
+    model, *_ = make_model()
+    pool = CostBasedPool(capacity=2, model=model)
+    with pytest.raises(KeyError):
+        pool.benefit_of(1)
+
+
+def test_revalidate_must_be_positive():
+    model, *_ = make_model()
+    with pytest.raises(ValueError):
+        CostBasedPool(capacity=2, model=model, revalidate=0)

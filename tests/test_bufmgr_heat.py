@@ -1,0 +1,99 @@
+"""Unit tests for heat tracking and the global heat registry."""
+
+import pytest
+
+from repro.bufmgr.heat import GlobalHeatRegistry, HeatTracker
+
+
+def test_unknown_key_has_zero_heat():
+    tracker = HeatTracker()
+    assert tracker.heat("p", now=10.0) == 0.0
+
+
+def test_heat_is_accesses_per_time_unit():
+    tracker = HeatTracker(k=2)
+    tracker.record("p", now=0.0)
+    tracker.record("p", now=10.0)
+    # 2 accesses over a 10 ms span.
+    assert tracker.heat("p", now=10.0) == pytest.approx(0.2)
+
+
+def test_heat_decays_with_time():
+    tracker = HeatTracker(k=2)
+    tracker.record("p", now=0.0)
+    tracker.record("p", now=10.0)
+    early = tracker.heat("p", now=10.0)
+    late = tracker.heat("p", now=100.0)
+    assert late < early
+
+
+def test_heat_window_keeps_only_k_newest():
+    tracker = HeatTracker(k=2)
+    tracker.record("p", now=0.0)
+    tracker.record("p", now=100.0)
+    tracker.record("p", now=110.0)
+    # Span is from t=100 (oldest of the 2 kept) to now.
+    assert tracker.heat("p", now=110.0) == pytest.approx(2 / 10)
+
+
+def test_hot_burst_at_same_instant():
+    tracker = HeatTracker(k=2)
+    tracker.record("p", now=5.0)
+    tracker.record("p", now=5.0)
+    assert tracker.heat("p", now=5.0) == 2.0
+
+
+def test_forget_deletes_bookkeeping():
+    tracker = HeatTracker()
+    tracker.record("p", now=1.0)
+    assert tracker.tracked("p")
+    tracker.forget("p")
+    assert not tracker.tracked("p")
+    assert len(tracker) == 0
+    tracker.forget("p")  # idempotent
+
+
+def test_composite_keys_for_class_heat():
+    """§6: class heat is kept per (class, page), created on demand."""
+    tracker = HeatTracker(k=2)
+    tracker.record((1, 42), now=0.0)
+    tracker.record((2, 42), now=0.0)
+    tracker.record((1, 42), now=4.0)
+    assert tracker.heat((1, 42), now=4.0) == pytest.approx(0.5)
+    assert tracker.heat((2, 42), now=4.0) > 0.0
+    assert tracker.heat((3, 42), now=4.0) == 0.0
+
+
+def test_k_must_be_positive():
+    with pytest.raises(ValueError):
+        HeatTracker(k=0)
+
+
+def test_global_registry_heat():
+    registry = GlobalHeatRegistry(k=2)
+    registry.record(7, now=0.0)
+    registry.record(7, now=5.0)
+    assert registry.heat(7, now=5.0) == pytest.approx(0.4)
+
+
+def test_global_registry_threshold_updates():
+    """Dissemination messages fire once per threshold accesses."""
+    updates = []
+    registry = GlobalHeatRegistry(
+        k=2, on_update=lambda: updates.append(1), update_threshold=3
+    )
+    for i in range(9):
+        registry.record(1, now=float(i))
+    assert len(updates) == 3
+
+
+def test_global_registry_threshold_per_page():
+    updates = []
+    registry = GlobalHeatRegistry(
+        k=2, on_update=lambda: updates.append(1), update_threshold=2
+    )
+    registry.record(1, now=0.0)
+    registry.record(2, now=0.0)
+    assert updates == []  # neither page reached its own threshold
+    registry.record(1, now=1.0)
+    assert len(updates) == 1

@@ -1,0 +1,152 @@
+"""Unit + property tests for the LRU and FIFO pools and the pool ABC."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bufmgr.fifo import FifoPool
+from repro.bufmgr.lru import LruPool
+
+
+def test_lru_evicts_least_recently_used():
+    pool = LruPool(capacity=2)
+    assert pool.insert(1) == []
+    assert pool.insert(2) == []
+    pool.touch(1)          # 2 is now least recently used
+    assert pool.insert(3) == [2]
+    assert 1 in pool and 3 in pool and 2 not in pool
+
+
+def test_lru_insert_of_cached_page_is_touch():
+    pool = LruPool(capacity=2)
+    pool.insert(1)
+    pool.insert(2)
+    pool.insert(1)  # refreshes 1 instead of evicting
+    assert pool.insert(3) == [2]
+
+
+def test_fifo_ignores_touches():
+    pool = FifoPool(capacity=2)
+    pool.insert(1)
+    pool.insert(2)
+    pool.touch(1)          # must not save page 1
+    assert pool.insert(3) == [1]
+
+
+def test_zero_capacity_never_stores():
+    pool = LruPool(capacity=0)
+    assert pool.insert(1) == [1]
+    assert len(pool) == 0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        LruPool(capacity=-1)
+
+
+def test_resize_shrink_evicts_lru_order():
+    pool = LruPool(capacity=4)
+    for page in (1, 2, 3, 4):
+        pool.insert(page)
+    pool.touch(1)
+    evicted = pool.resize(2)
+    assert evicted == [2, 3]
+    assert set(pool.page_ids()) == {4, 1}
+    assert pool.capacity == 2
+
+
+def test_resize_grow_keeps_pages():
+    pool = LruPool(capacity=2)
+    pool.insert(1)
+    pool.insert(2)
+    assert pool.resize(5) == []
+    assert pool.insert(3) == []
+
+
+def test_remove_present_and_absent():
+    pool = LruPool(capacity=2)
+    pool.insert(1)
+    assert pool.remove(1) is True
+    assert pool.remove(1) is False
+    assert len(pool) == 0
+
+
+def test_hit_rate_accounting():
+    pool = LruPool(capacity=2)
+    assert pool.hit_rate == 0.0
+    pool.record_hit()
+    pool.record_hit()
+    pool.record_miss()
+    assert pool.hit_rate == pytest.approx(2 / 3)
+
+
+def test_belady_anomaly_on_fifo():
+    """The paper cites [2]: FIFO can violate 'more buffer = more hits'.
+
+    The classic reference string 1,2,3,4,1,2,5,1,2,3,4,5 yields 9
+    faults with 3 frames but 10 with 4 frames.
+    """
+    reference = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+
+    def fault_count(frames):
+        pool = FifoPool(capacity=frames)
+        faults = 0
+        for page in reference:
+            if page in pool:
+                pool.touch(page)
+            else:
+                faults += 1
+                pool.insert(page)
+        return faults
+
+    assert fault_count(3) == 9
+    assert fault_count(4) == 10
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.lists(st.integers(min_value=0, max_value=40),
+             min_size=1, max_size=300),
+)
+@settings(max_examples=100)
+def test_property_pool_never_exceeds_capacity(capacity, pages):
+    """Invariant: |pool| <= capacity at all times, for both policies."""
+    for pool in (LruPool(capacity), FifoPool(capacity)):
+        for page in pages:
+            pool.insert(page)
+            assert len(pool) <= capacity
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.lists(st.integers(min_value=0, max_value=40),
+             min_size=1, max_size=300),
+)
+@settings(max_examples=100)
+def test_property_insert_returns_exactly_the_evicted(capacity, pages):
+    """Pages leave the pool exactly via insert()'s return value."""
+    pool = LruPool(capacity)
+    present = set()
+    for page in pages:
+        evicted = pool.insert(page)
+        present.add(page)
+        present -= set(evicted)
+        assert present == set(pool.page_ids())
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=30),
+             min_size=1, max_size=200),
+    st.integers(min_value=0, max_value=8),
+)
+@settings(max_examples=100)
+def test_property_resize_to_smaller_keeps_subset(pages, new_capacity):
+    pool = LruPool(16)
+    for page in pages:
+        pool.insert(page)
+    before = set(pool.page_ids())
+    evicted = pool.resize(new_capacity)
+    after = set(pool.page_ids())
+    assert after <= before
+    assert after | set(evicted) == before
+    assert len(after) <= new_capacity

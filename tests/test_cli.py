@@ -1,0 +1,41 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    commands = {"table1", "figure2", "table2", "multiclass",
+                "overhead", "scaling", "all", "demo"}
+    for command in commands:
+        args = parser.parse_args(
+            [command] + (["--quick"] if command == "all" else [])
+        )
+        assert callable(args.func)
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_demo_defaults():
+    args = build_parser().parse_args(["demo"])
+    assert args.goal == 6.0
+    assert args.intervals == 25
+
+
+def test_table1_runs_end_to_end(capsys):
+    main(["table1", "--repetitions", "2"])
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "50" in out  # largest node count row
+
+
+def test_demo_runs_end_to_end(capsys):
+    main(["demo", "--intervals", "3", "--goal", "8.0"])
+    out = capsys.readouterr().out
+    assert out.count("interval") == 3
+    assert "dedicated=" in out

@@ -1,0 +1,128 @@
+"""Integration tests for the cluster's data-shipping page access path."""
+
+import pytest
+
+from repro.bufmgr.costs import AccessLevel
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import NodeParameters, SystemConfig
+
+
+@pytest.fixture
+def small_cluster():
+    config = SystemConfig(
+        num_nodes=3,
+        num_pages=60,
+        node=NodeParameters(buffer_bytes=16 * 4096),
+    )
+    return Cluster(config, seed=0)
+
+
+def _access(cluster, node_id, page_id, class_id=0):
+    result = {}
+
+    def proc():
+        level = yield from cluster.access_page(node_id, page_id, class_id)
+        result["level"] = level
+
+    cluster.env.process(proc())
+    cluster.env.run()
+    return result["level"]
+
+
+def test_first_access_goes_to_disk(small_cluster):
+    assert _access(small_cluster, 0, 0) is AccessLevel.DISK
+
+
+def test_second_access_same_node_is_local(small_cluster):
+    _access(small_cluster, 0, 0)
+    assert _access(small_cluster, 0, 0) is AccessLevel.LOCAL
+
+
+def test_access_from_other_node_is_remote(small_cluster):
+    _access(small_cluster, 0, 5)
+    assert _access(small_cluster, 1, 5) is AccessLevel.REMOTE
+
+
+def test_remote_copy_registers_both_nodes(small_cluster):
+    _access(small_cluster, 0, 5)
+    _access(small_cluster, 1, 5)
+    assert small_cluster.directory.holders(5) == {0, 1}
+
+
+def test_home_local_disk_read_skips_network(small_cluster):
+    # Page 0 is homed at node 0 (round robin): no page traffic, only
+    # the directory registration bytes.
+    from repro.cluster.messages import MessageKind
+
+    _access(small_cluster, 0, 0)
+    acc = small_cluster.network.accounting
+    assert MessageKind.PAGE_REQUEST not in acc.messages_by_kind
+    assert MessageKind.PAGE_SHIP not in acc.messages_by_kind
+
+
+def test_remote_home_disk_read_ships_page(small_cluster):
+    # Page 1 is homed at node 1; access from node 0 must ship it.
+    _access(small_cluster, 0, 1)
+    acc = small_cluster.network.accounting
+    from repro.cluster.messages import MessageKind
+
+    assert acc.messages_by_kind[MessageKind.PAGE_REQUEST] >= 1
+    assert acc.messages_by_kind[MessageKind.PAGE_SHIP] >= 1
+
+
+def test_cost_observer_learns_ordering(small_cluster):
+    _access(small_cluster, 0, 0)    # disk
+    _access(small_cluster, 0, 0)    # local
+    _access(small_cluster, 1, 0)    # remote
+    costs = small_cluster.costs
+    assert costs.observations(AccessLevel.DISK) == 1
+    assert costs.observations(AccessLevel.LOCAL) == 1
+    assert costs.observations(AccessLevel.REMOTE) == 1
+    assert (
+        costs.cost(AccessLevel.LOCAL)
+        < costs.cost(AccessLevel.REMOTE)
+        < costs.cost(AccessLevel.DISK)
+    )
+
+
+def test_eviction_unregisters_from_directory(small_cluster):
+    # Fill node 0's 16-frame buffer beyond capacity.
+    for page in range(0, 60, 3):  # pages homed at node 0
+        _access(small_cluster, 0, page)
+    cached = sum(
+        1 for p in range(60)
+        if 0 in small_cluster.directory.holders(p)
+    )
+    assert cached == 16  # directory mirrors the buffer content exactly
+    manager = small_cluster.nodes[0].buffers
+    for page in range(60):
+        holds = 0 in small_cluster.directory.holders(page)
+        assert holds == manager.contains(page)
+
+
+def test_apply_allocation_grants_and_reports(small_cluster):
+    granted = small_cluster.apply_allocation(1, [8 * 4096] * 3)
+    assert granted == [8 * 4096] * 3
+    assert small_cluster.total_dedicated_bytes(1) == 3 * 8 * 4096
+
+
+def test_apply_allocation_conflict_grants_partial(small_cluster):
+    small_cluster.apply_allocation(1, [12 * 4096] * 3)
+    granted = small_cluster.apply_allocation(2, [8 * 4096] * 3)
+    assert granted == [4 * 4096] * 3  # only 4 frames left per node
+
+
+def test_apply_allocation_wrong_length_rejected(small_cluster):
+    with pytest.raises(ValueError):
+        small_cluster.apply_allocation(1, [4096])
+
+
+def test_remote_fetch_falls_back_to_disk_if_evicted(small_cluster):
+    """A page evicted mid-flight must be re-read from its home disk."""
+    _access(small_cluster, 0, 5)
+    # Forcibly drop the copy from node 0 (simulates in-flight eviction).
+    small_cluster.nodes[0].buffers.pool(0).remove(5)
+    small_cluster.nodes[0].buffers._where.pop(5, None)
+    # Directory still thinks node 0 holds it.
+    assert small_cluster.directory.remote_holder(5, 1) == 0
+    assert _access(small_cluster, 1, 5) is AccessLevel.DISK

@@ -1,0 +1,61 @@
+"""Unit tests for the database home mapping."""
+
+import pytest
+
+from repro.cluster.database import Database
+
+
+def test_round_robin_homes():
+    db = Database(num_pages=10, page_size=4096, num_nodes=3)
+    assert [db.home(p) for p in range(6)] == [0, 1, 2, 0, 1, 2]
+
+
+def test_every_page_has_exactly_one_home():
+    db = Database(num_pages=100, page_size=4096, num_nodes=4)
+    owned = [db.pages_homed_at(n) for n in range(4)]
+    flat = sorted(p for pages in owned for p in pages)
+    assert flat == list(range(100))
+
+
+def test_round_robin_is_balanced():
+    db = Database(num_pages=99, page_size=4096, num_nodes=3)
+    counts = [len(db.pages_homed_at(n)) for n in range(3)]
+    assert counts == [33, 33, 33]
+
+
+def test_hash_placement_covers_all_nodes():
+    db = Database(num_pages=1000, page_size=4096, num_nodes=5,
+                  placement="hash")
+    counts = [len(db.pages_homed_at(n)) for n in range(5)]
+    assert sum(counts) == 1000
+    # A reasonable hash spreads within ~3x of the mean.
+    assert min(counts) > 0
+    assert max(counts) < 3 * 200
+
+
+def test_hash_placement_deterministic():
+    a = Database(num_pages=50, page_size=4096, num_nodes=3, placement="hash")
+    b = Database(num_pages=50, page_size=4096, num_nodes=3, placement="hash")
+    assert [a.home(p) for p in range(50)] == [b.home(p) for p in range(50)]
+
+
+def test_page_out_of_range_rejected():
+    db = Database(num_pages=10, page_size=4096, num_nodes=2)
+    with pytest.raises(ValueError):
+        db.home(10)
+    with pytest.raises(ValueError):
+        db.home(-1)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_pages": 0, "page_size": 4096, "num_nodes": 1},
+        {"num_pages": 10, "page_size": 4096, "num_nodes": 0},
+        {"num_pages": 10, "page_size": 4096, "num_nodes": 1,
+         "placement": "magic"},
+    ],
+)
+def test_invalid_database_rejected(kwargs):
+    with pytest.raises(ValueError):
+        Database(**kwargs)

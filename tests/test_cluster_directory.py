@@ -1,0 +1,81 @@
+"""Unit tests for the page-location directory."""
+
+from repro.cluster.directory import PageDirectory
+
+
+def test_register_and_holders():
+    directory = PageDirectory()
+    directory.register(5, 0)
+    directory.register(5, 2)
+    assert directory.holders(5) == {0, 2}
+    assert directory.cached_anywhere(5)
+    assert not directory.cached_anywhere(6)
+
+
+def test_register_idempotent():
+    directory = PageDirectory()
+    directory.register(1, 0)
+    directory.register(1, 0)
+    assert directory.copy_count(1) == 1
+
+
+def test_unregister_removes_holder():
+    directory = PageDirectory()
+    directory.register(1, 0)
+    directory.register(1, 1)
+    directory.unregister(1, 0)
+    assert directory.holders(1) == {1}
+    directory.unregister(1, 1)
+    assert not directory.cached_anywhere(1)
+
+
+def test_unregister_unknown_is_noop():
+    directory = PageDirectory()
+    directory.unregister(99, 3)  # must not raise
+    assert directory.holders(99) == set()
+
+
+def test_remote_holder_excludes_requester():
+    directory = PageDirectory()
+    directory.register(7, 1)
+    assert directory.remote_holder(7, requester=1) is None
+    assert directory.remote_holder(7, requester=0) == 1
+
+
+def test_remote_holder_deterministic_lowest_id():
+    directory = PageDirectory()
+    directory.register(7, 2)
+    directory.register(7, 1)
+    assert directory.remote_holder(7, requester=0) == 1
+
+
+def test_last_copy_detection():
+    directory = PageDirectory()
+    directory.register(3, 0)
+    assert directory.is_last_copy(3, 0)
+    directory.register(3, 1)
+    assert not directory.is_last_copy(3, 0)
+    directory.unregister(3, 1)
+    assert directory.is_last_copy(3, 0)
+
+
+def test_last_copy_false_for_noncached():
+    directory = PageDirectory()
+    assert not directory.is_last_copy(3, 0)
+
+
+def test_directory_accounts_updates_on_network():
+    class FakeNetwork:
+        def __init__(self):
+            self.calls = 0
+
+        def account_only(self, kind):
+            self.calls += 1
+
+    network = FakeNetwork()
+    directory = PageDirectory(network)
+    directory.register(1, 0)
+    directory.register(1, 0)  # no change, no message
+    directory.unregister(1, 0)
+    directory.unregister(1, 0)  # no change, no message
+    assert network.calls == 2

@@ -1,0 +1,82 @@
+"""Unit + integration tests for node restarts (cache loss)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.experiments.runner import Simulation
+
+
+def test_restart_drops_all_cached_pages(fast_config):
+    cluster = Cluster(fast_config, seed=0)
+
+    def reader():
+        for page in range(0, 30, 3):  # pages homed at node 0
+            yield from cluster.access_page(0, page, 0)
+
+    cluster.env.process(reader())
+    cluster.env.run()
+    assert cluster.nodes[0].buffers.cached_pages()
+    dropped = cluster.restart_node(0)
+    assert dropped > 0
+    assert cluster.nodes[0].buffers.cached_pages() == []
+    # Directory no longer lists node 0 anywhere.
+    for page in range(fast_config.num_pages):
+        assert 0 not in cluster.directory.holders(page)
+
+
+def test_restart_preserves_allocation_table(fast_config):
+    cluster = Cluster(fast_config, seed=0)
+    cluster.apply_allocation(1, [8 * 4096] * fast_config.num_nodes)
+    cluster.restart_node(1)
+    assert cluster.nodes[1].buffers.dedicated_bytes(1) == 8 * 4096
+
+
+def test_restart_resets_heat(fast_config):
+    cluster = Cluster(fast_config, seed=0)
+
+    def reader():
+        for _ in range(5):
+            yield from cluster.access_page(0, 0, 0)
+
+    cluster.env.process(reader())
+    cluster.env.run()
+    manager = cluster.nodes[0].buffers
+    assert manager.accumulated_heat.tracked(0)
+    cluster.restart_node(0)
+    assert not manager.accumulated_heat.tracked(0)
+
+
+def test_node_keeps_working_after_restart(fast_config):
+    cluster = Cluster(fast_config, seed=0)
+
+    def reader(result):
+        level = yield from cluster.access_page(0, 0, 0)
+        result.append(level)
+
+    before, after = [], []
+    cluster.env.process(reader(before))
+    cluster.env.run()
+    cluster.restart_node(0)
+    cluster.env.process(reader(after))
+    cluster.env.run()
+    from repro.bufmgr.costs import AccessLevel
+
+    assert before == [AccessLevel.DISK]
+    assert after == [AccessLevel.DISK]  # cold again after restart
+    assert cluster.nodes[0].buffers.contains(0)
+
+
+def test_feedback_loop_recovers_from_restart(fast_config, fast_workload):
+    """The §7.2-style adaptivity claim under a node failure: after a
+    restart wipes one node's cache, the controller re-converges."""
+    sim = Simulation(
+        config=fast_config, workload=fast_workload, seed=11,
+        warmup_ms=10_000.0,
+    )
+    sim.run(intervals=25)
+    sim.cluster.restart_node(0)
+    sim.run(intervals=25)
+    satisfied_after = sim.satisfied(1)[-15:]
+    assert any(satisfied_after), (
+        "controller failed to re-converge after the node restart"
+    )

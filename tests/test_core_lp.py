@@ -1,0 +1,103 @@
+"""Unit tests for the buffer-partitioning LP (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hyperplane import Hyperplane
+from repro.core.lp import PartitioningProblem, solve_partitioning
+
+MB = 1024 * 1024
+
+
+def make_problem(rt_goal=10.0, upper=(2 * MB, 2 * MB, 2 * MB)):
+    """A 3-node instance with the theoretically expected slope signs."""
+    goal_plane = Hyperplane(
+        coefficients=np.array([-4.0, -4.0, -4.0]) / MB,  # -4 ms per MB
+        intercept=30.0,
+    )
+    nogoal_plane = Hyperplane(
+        coefficients=np.array([2.0, 3.0, 4.0]) / MB,
+        intercept=2.0,
+    )
+    return PartitioningProblem(
+        goal_plane=goal_plane,
+        nogoal_plane=nogoal_plane,
+        rt_goal=rt_goal,
+        upper_bounds=np.array(upper, dtype=float),
+    )
+
+
+def test_solution_meets_goal_exactly():
+    problem = make_problem(rt_goal=10.0)
+    solution = solve_partitioning(problem)
+    assert not solution.relaxed
+    assert solution.predicted_goal_rt == pytest.approx(10.0, rel=1e-6)
+
+
+def test_solution_respects_bounds():
+    problem = make_problem(rt_goal=10.0)
+    solution = solve_partitioning(problem)
+    assert np.all(solution.allocation >= -1e-6)
+    assert np.all(solution.allocation <= problem.upper_bounds + 1e-6)
+
+
+def test_objective_prefers_cheap_nodes():
+    """Node 0 hurts the no-goal class least (2 ms/MB) -> fill it first."""
+    problem = make_problem(rt_goal=10.0)
+    solution = solve_partitioning(problem)
+    # 5 MB total needed ((30-10)/4); node 0 and 1 full, rest on node 2.
+    assert solution.allocation[0] == pytest.approx(2 * MB, rel=1e-6)
+    assert solution.allocation[1] == pytest.approx(2 * MB, rel=1e-6)
+    assert solution.allocation[2] == pytest.approx(1 * MB, rel=1e-6)
+
+
+def test_goal_unreachable_relaxes_to_closest():
+    """Goal below what even full dedication achieves -> clamp at max."""
+    problem = make_problem(rt_goal=1.0)  # full memory gives 30-24=6 ms
+    solution = solve_partitioning(problem)
+    assert solution.relaxed
+    assert solution.allocation == pytest.approx(
+        problem.upper_bounds, rel=1e-6
+    )
+    assert solution.predicted_goal_rt == pytest.approx(6.0, rel=1e-6)
+
+
+def test_goal_above_zero_allocation_relaxes_to_zero():
+    problem = make_problem(rt_goal=50.0)  # zero memory gives 30 ms
+    solution = solve_partitioning(problem)
+    assert solution.relaxed
+    assert solution.allocation == pytest.approx(np.zeros(3), abs=1e-3)
+
+
+def test_zero_upper_bounds_handled():
+    """Other classes hold all the memory: only the empty allocation."""
+    problem = make_problem(rt_goal=30.0, upper=(0.0, 0.0, 0.0))
+    solution = solve_partitioning(problem)
+    assert solution.allocation == pytest.approx(np.zeros(3), abs=1e-6)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_problem(rt_goal=0.0)
+    with pytest.raises(ValueError):
+        make_problem(upper=(MB, MB))  # wrong length
+    with pytest.raises(ValueError):
+        make_problem(upper=(-MB, MB, MB))
+
+
+def test_predicted_nogoal_rt_reported():
+    problem = make_problem(rt_goal=10.0)
+    solution = solve_partitioning(problem)
+    expected = problem.nogoal_plane.predict(solution.allocation)
+    assert solution.predicted_nogoal_rt == pytest.approx(expected)
+
+
+def test_single_node_problem():
+    problem = PartitioningProblem(
+        goal_plane=Hyperplane(np.array([-2.0 / MB]), 20.0),
+        nogoal_plane=Hyperplane(np.array([1.0 / MB]), 1.0),
+        rt_goal=10.0,
+        upper_bounds=np.array([8.0 * MB]),
+    )
+    solution = solve_partitioning(problem)
+    assert solution.allocation[0] == pytest.approx(5 * MB, rel=1e-6)

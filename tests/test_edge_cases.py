@@ -1,0 +1,164 @@
+"""Edge-case tests across modules: kernel, simplex, LP, cluster."""
+
+import numpy as np
+import pytest
+
+from repro.core.simplex import ITERATION_LIMIT, OPTIMAL, solve_lp
+from repro.sim.engine import Environment, Interrupt
+from repro.sim.resources import Resource
+
+
+# -- kernel ---------------------------------------------------------------
+
+
+def test_interrupt_while_waiting_for_resource():
+    """An interrupted waiter must leave the queue cleanly."""
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    log = []
+
+    def holder():
+        with resource.request() as req:
+            yield req
+            yield env.timeout(10.0)
+        log.append(("holder done", env.now))
+
+    def waiter():
+        request = resource.request()
+        try:
+            yield request
+            log.append("waiter got it")
+        except Interrupt:
+            resource.release(request)  # cancel the queued request
+            log.append(("waiter interrupted", env.now))
+
+    def interrupter(target):
+        yield env.timeout(2.0)
+        target.interrupt()
+
+    env.process(holder())
+    target = env.process(waiter())
+    env.process(interrupter(target))
+    env.run()
+    assert ("waiter interrupted", 2.0) in log
+    assert ("holder done", 10.0) in log
+    assert resource.queue_length == 0
+
+
+def test_nested_subgenerators_three_deep():
+    env = Environment()
+    result = []
+
+    def level3():
+        yield env.timeout(1.0)
+        return 3
+
+    def level2():
+        value = yield from level3()
+        yield env.timeout(1.0)
+        return value + 2
+
+    def level1():
+        value = yield from level2()
+        result.append(value)
+
+    env.process(level1())
+    env.run()
+    assert result == [5]
+    assert env.now == 2.0
+
+
+def test_event_callback_after_processed_runs_immediately():
+    env = Environment()
+    event = env.event()
+    event.succeed("early")
+    env.run()
+    late = []
+
+    def late_waiter():
+        value = yield event  # event long processed
+        late.append(value)
+
+    env.process(late_waiter())
+    env.run()
+    assert late == ["early"]
+
+
+# -- simplex ---------------------------------------------------------------
+
+
+def test_simplex_redundant_equalities():
+    """Duplicated equality rows must not break phase 1."""
+    result = solve_lp(
+        c=[1.0, 1.0],
+        a_eq=[[1.0, 1.0], [2.0, 2.0]],
+        b_eq=[2.0, 4.0],
+    )
+    assert result.status == OPTIMAL
+    assert result.objective == pytest.approx(2.0)
+
+
+def test_simplex_equality_with_negative_rhs():
+    result = solve_lp(c=[1.0], a_eq=[[-1.0]], b_eq=[-3.0])
+    assert result.status == OPTIMAL
+    assert result.x == pytest.approx([3.0])
+
+
+def test_simplex_iteration_limit_reported():
+    result = solve_lp(
+        c=[-1.0, -1.0],
+        a_ub=[[1.0, 1.0]],
+        b_ub=[10.0],
+        maxiter=0,
+    )
+    assert result.status == ITERATION_LIMIT
+
+
+def test_simplex_single_variable_tight():
+    result = solve_lp(c=[5.0], a_ub=[[1.0]], b_ub=[0.0])
+    assert result.status == OPTIMAL
+    assert result.x == pytest.approx([0.0])
+
+
+# -- partitioning LP ---------------------------------------------------------
+
+
+def test_partitioning_mixed_zero_bounds():
+    from repro.core.hyperplane import Hyperplane
+    from repro.core.lp import PartitioningProblem, solve_partitioning
+
+    MB = 1024 * 1024
+    problem = PartitioningProblem(
+        goal_plane=Hyperplane(np.array([-4.0 / MB, -4.0 / MB]), 20.0),
+        nogoal_plane=Hyperplane(np.array([1.0 / MB, 1.0 / MB]), 1.0),
+        rt_goal=12.0,
+        upper_bounds=np.array([0.0, 4.0 * MB]),
+    )
+    solution = solve_partitioning(problem)
+    assert solution.allocation[0] == pytest.approx(0.0, abs=1e-6)
+    assert solution.allocation[1] == pytest.approx(2.0 * MB, rel=1e-6)
+
+
+# -- cluster with hash placement ------------------------------------------
+
+
+def test_hash_placement_cluster_end_to_end(fast_config):
+    from dataclasses import replace
+
+    from repro.cluster.cluster import Cluster
+    from repro.workload.generator import WorkloadGenerator
+    from repro.workload.spec import ClassSpec, WorkloadSpec
+
+    config = replace(fast_config, placement="hash")
+    cluster = Cluster(config, seed=3)
+    workload = WorkloadSpec(classes=[
+        ClassSpec(class_id=0, goal_ms=None,
+                  pages=tuple(range(config.num_pages)),
+                  pages_per_op=2, arrival_rate_per_node=0.01),
+    ])
+    generator = WorkloadGenerator(cluster, workload)
+    generator.start()
+    cluster.env.run(until=15_000.0)
+    assert generator.operations_completed > 0
+    # All three disks served reads (hash spreads the homes).
+    assert all(node.disk.reads > 0 for node in cluster.nodes)

@@ -1,0 +1,55 @@
+"""Unit tests for the scaling experiment harness (fast scale)."""
+
+import pytest
+
+from repro.experiments.scaling import (
+    _with_pages_per_op,
+    run_complexity_scaling,
+    run_node_scaling,
+    to_text,
+)
+from repro.experiments.runner import default_workload
+
+
+def test_with_pages_per_op_scales_arrivals(fast_config):
+    workload = default_workload(fast_config, arrival_rate_per_node=0.02)
+    heavier = _with_pages_per_op(workload, 16)
+    spec = heavier.spec_for(1)
+    assert spec.pages_per_op == 16
+    # 4x the work per operation -> 1/4 the arrivals: constant load.
+    assert spec.arrival_rate_per_node == pytest.approx(0.005)
+
+
+def test_with_pages_per_op_keeps_goals(fast_config):
+    workload = default_workload(fast_config, goal_ms=7.0)
+    heavier = _with_pages_per_op(workload, 8)
+    assert heavier.spec_for(1).goal_ms == 7.0
+    assert heavier.spec_for(0).goal_ms is None
+
+
+def test_node_scaling_runs_at_fast_scale(fast_config):
+    points = run_node_scaling(
+        node_counts=(2,), base_config=fast_config, intervals=12,
+        seed=3,
+    )
+    assert len(points) == 1
+    assert points[0].num_nodes == 2
+    assert points[0].mean_rt_tail_ms > 0
+
+
+def test_complexity_scaling_runs_at_fast_scale(fast_config):
+    points = run_complexity_scaling(
+        pages_per_op=(4,), base_config=fast_config, intervals=12,
+        seed=3,
+    )
+    assert points[0].pages_per_op == 4
+
+
+def test_to_text_renders_never():
+    from repro.experiments.scaling import ScalingPoint
+
+    text = to_text(
+        [ScalingPoint("x", 3, 4, None, 0.0, 1.0)], "T"
+    )
+    assert "never" in text
+    assert text.splitlines()[0] == "T"

@@ -1,0 +1,325 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(5.0)
+        log.append(env.now)
+        yield env.timeout(2.5)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [5.0, 7.5]
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    result = []
+
+    def proc():
+        value = yield env.timeout(1.0, value="hello")
+        result.append(value)
+
+    env.process(proc())
+    env.run()
+    assert result == ["hello"]
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(10.0)
+
+    env.process(proc())
+    env.run(until=25.0)
+    assert env.now == 25.0
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    env.run(until=10.0)
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_events_fire_in_time_order_with_fifo_ties():
+    env = Environment()
+    order = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        order.append(name)
+
+    env.process(proc("b", 2.0))
+    env.process(proc("a", 1.0))
+    env.process(proc("tie1", 3.0))
+    env.process(proc("tie2", 3.0))
+    env.run()
+    assert order == ["a", "b", "tie1", "tie2"]
+
+
+def test_process_waits_for_other_process():
+    env = Environment()
+    log = []
+
+    def worker():
+        yield env.timeout(4.0)
+        log.append("worker done")
+        return 42
+
+    def waiter(worker_proc):
+        value = yield worker_proc
+        log.append(("got", value, env.now))
+
+    proc = env.process(worker())
+    env.process(waiter(proc))
+    env.run()
+    assert log == ["worker done", ("got", 42, 4.0)]
+
+
+def test_yield_from_subgenerator_returns_value():
+    env = Environment()
+    result = []
+
+    def sub():
+        yield env.timeout(1.0)
+        return "sub-value"
+
+    def main():
+        value = yield from sub()
+        result.append(value)
+
+    env.process(main())
+    env.run()
+    assert result == ["sub-value"]
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def opener():
+        yield env.timeout(3.0)
+        gate.succeed("open!")
+
+    def waiter():
+        value = yield gate
+        log.append((env.now, value))
+
+    env.process(opener())
+    env.process(waiter())
+    env.run()
+    assert log == [(3.0, "open!")]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = env.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def failer():
+        yield env.timeout(1.0)
+        gate.fail(RuntimeError("boom"))
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(failer())
+    env.process(waiter())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_failure_propagates():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise ValueError("unhandled")
+
+    env.process(bad())
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2.0)
+        return "finished"
+
+    result = env.run(until=env.process(proc()))
+    assert result == "finished"
+    assert env.now == 2.0
+
+
+def test_interrupt_wakes_process_early():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+            log.append("slept full")
+        except Interrupt as interrupt:
+            log.append(("interrupted", env.now, interrupt.cause))
+
+    def interrupter(target):
+        yield env.timeout(5.0)
+        target.interrupt("wake up")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert log == [("interrupted", 5.0, "wake up")]
+
+
+def test_interrupting_dead_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    log = []
+
+    def proc():
+        result = yield AnyOf(env, [env.timeout(5.0, "slow"),
+                                   env.timeout(1.0, "fast")])
+        log.append((env.now, sorted(result.values())))
+
+    env.process(proc())
+    env.run()
+    assert log == [(1.0, ["fast"])]
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    log = []
+
+    def proc():
+        result = yield AllOf(env, [env.timeout(5.0, "slow"),
+                                   env.timeout(1.0, "fast")])
+        log.append((env.now, sorted(result.values())))
+
+    env.process(proc())
+    env.run()
+    assert log == [(5.0, ["fast", "slow"])]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield AllOf(env, [])
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [0.0]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_step_without_events_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_is_alive_transitions():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    proc = env.process(quick())
+    assert proc.is_alive
+    env.run()
+    assert not proc.is_alive
+
+
+def test_many_processes_complete():
+    env = Environment()
+    done = []
+
+    def proc(i):
+        yield env.timeout(float(i % 7) + 0.1)
+        done.append(i)
+
+    for i in range(500):
+        env.process(proc(i))
+    env.run()
+    assert sorted(done) == list(range(500))

@@ -1,0 +1,75 @@
+"""Unit + property tests for the P² streaming quantile estimator."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stats import P2Quantile
+
+
+def test_invalid_quantile_rejected():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+def test_empty_estimator_returns_zero():
+    assert P2Quantile(0.5).value == 0.0
+
+
+def test_exact_for_few_samples():
+    estimator = P2Quantile(0.5)
+    for x in (3.0, 1.0, 2.0):
+        estimator.add(x)
+    assert estimator.value == 2.0  # exact median of 3 samples
+
+
+def test_median_of_uniform_stream():
+    estimator = P2Quantile(0.5)
+    rng = random.Random(1)
+    for _ in range(20_000):
+        estimator.add(rng.random())
+    assert estimator.value == pytest.approx(0.5, abs=0.02)
+
+
+def test_p95_of_exponential_stream():
+    estimator = P2Quantile(0.95)
+    rng = random.Random(2)
+    samples = [rng.expovariate(1.0) for _ in range(20_000)]
+    for x in samples:
+        estimator.add(x)
+    true_p95 = float(np.percentile(samples, 95))
+    assert estimator.value == pytest.approx(true_p95, rel=0.08)
+
+
+def test_monotone_quantiles():
+    rng = random.Random(3)
+    samples = [rng.gauss(10.0, 3.0) for _ in range(10_000)]
+    estimates = []
+    for q in (0.25, 0.5, 0.9):
+        estimator = P2Quantile(q)
+        for x in samples:
+            estimator.add(x)
+        estimates.append(estimator.value)
+    assert estimates[0] < estimates[1] < estimates[2]
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        min_size=50,
+        max_size=400,
+    ),
+    st.sampled_from([0.25, 0.5, 0.75, 0.9]),
+)
+@settings(max_examples=60)
+def test_property_estimate_within_sample_range(samples, quantile):
+    estimator = P2Quantile(quantile)
+    for x in samples:
+        estimator.add(x)
+    assert min(samples) <= estimator.value <= max(samples)
+    assert estimator.count == len(samples)

@@ -1,0 +1,172 @@
+"""Unit tests for the resource primitives (FCFS and priority queues)."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.resources import PriorityResource, Resource
+
+
+def _hold(env, resource, duration, log, name, priority=0.0):
+    with resource.request(priority) as req:
+        yield req
+        log.append(("start", name, env.now))
+        yield env.timeout(duration)
+    log.append(("end", name, env.now))
+
+
+def test_capacity_one_serializes():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+    env.process(_hold(env, res, 5.0, log, "a"))
+    env.process(_hold(env, res, 5.0, log, "b"))
+    env.run()
+    assert log == [
+        ("start", "a", 0.0),
+        ("end", "a", 5.0),
+        ("start", "b", 5.0),
+        ("end", "b", 10.0),
+    ]
+
+
+def test_fcfs_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def late(name, arrive):
+        yield env.timeout(arrive)
+        yield from _hold(env, res, 2.0, log, name)
+
+    env.process(late("first", 0.0))
+    env.process(late("second", 0.5))
+    env.process(late("third", 1.0))
+    env.run()
+    starts = [entry for entry in log if entry[0] == "start"]
+    assert [s[1] for s in starts] == ["first", "second", "third"]
+
+
+def test_capacity_two_runs_in_parallel():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    log = []
+    env.process(_hold(env, res, 5.0, log, "a"))
+    env.process(_hold(env, res, 5.0, log, "b"))
+    env.process(_hold(env, res, 5.0, log, "c"))
+    env.run()
+    assert ("start", "b", 0.0) in log
+    assert ("start", "c", 5.0) in log
+
+
+def test_invalid_capacity_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_queue_length_and_count():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+    env.process(_hold(env, res, 10.0, log, "a"))
+    env.process(_hold(env, res, 10.0, log, "b"))
+    env.process(_hold(env, res, 10.0, log, "c"))
+    env.run(until=1.0)
+    assert res.count == 1
+    assert res.queue_length == 2
+
+
+def test_utilization_tracks_busy_time():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def user():
+        yield from _hold(env, res, 4.0, log, "u")
+
+    env.process(user())
+    env.run(until=10.0)
+    assert res.utilization() == pytest.approx(0.4)
+
+
+def test_mean_wait_accounts_queueing():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+    env.process(_hold(env, res, 4.0, log, "a"))
+    env.process(_hold(env, res, 4.0, log, "b"))
+    env.run()
+    # a waited 0, b waited 4 => mean 2.
+    assert res.mean_wait == pytest.approx(2.0)
+
+
+def test_request_grant_value_is_wait_time():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    waits = []
+
+    def proc():
+        with res.request() as req:
+            waited = yield req
+            waits.append(waited)
+            yield env.timeout(3.0)
+
+    env.process(proc())
+    env.process(proc())
+    env.run()
+    assert waits == [0.0, 3.0]
+
+
+def test_cancel_waiting_request_frees_queue():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def holder():
+        yield from _hold(env, res, 10.0, log, "holder")
+
+    def impatient():
+        request = res.request()
+        yield env.timeout(1.0)
+        res.release(request)  # give up while still queued
+        log.append(("gave up", env.now))
+
+    env.process(holder())
+    env.process(impatient())
+    env.run()
+    assert ("gave up", 1.0) in log
+    assert res.queue_length == 0
+
+
+def test_priority_resource_orders_by_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    log = []
+
+    def requester(name, priority, arrive):
+        yield env.timeout(arrive)
+        yield from _hold(env, res, 2.0, log, name, priority)
+
+    env.process(requester("holder", 0, 0.0))
+    env.process(requester("low", 5, 0.1))
+    env.process(requester("high", 1, 0.2))
+    env.run()
+    starts = [entry[1] for entry in log if entry[0] == "start"]
+    assert starts == ["holder", "high", "low"]
+
+
+def test_priority_resource_fifo_within_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    log = []
+
+    def requester(name, arrive):
+        yield env.timeout(arrive)
+        yield from _hold(env, res, 2.0, log, name, priority=1)
+
+    env.process(requester("holder", 0.0))
+    env.process(requester("first", 0.1))
+    env.process(requester("second", 0.2))
+    env.run()
+    starts = [entry[1] for entry in log if entry[0] == "start"]
+    assert starts == ["holder", "first", "second"]

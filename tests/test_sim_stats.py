@@ -1,0 +1,164 @@
+"""Unit + property tests for the online statistics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stats import (
+    OnlineStats,
+    TimeSeries,
+    WindowStats,
+    mean_confidence_interval,
+    replicate_until,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def test_empty_stats():
+    stats = OnlineStats()
+    assert stats.count == 0
+    assert stats.mean == 0.0
+    assert stats.variance == 0.0
+
+
+def test_single_sample():
+    stats = OnlineStats()
+    stats.add(5.0)
+    assert stats.mean == 5.0
+    assert stats.variance == 0.0
+    assert stats.minimum == 5.0
+    assert stats.maximum == 5.0
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=200))
+@settings(max_examples=100)
+def test_welford_matches_numpy(samples):
+    stats = OnlineStats()
+    for x in samples:
+        stats.add(x)
+    assert stats.mean == pytest.approx(np.mean(samples), abs=1e-6, rel=1e-9)
+    assert stats.variance == pytest.approx(
+        np.var(samples, ddof=1), abs=1e-4, rel=1e-6
+    )
+
+
+@given(
+    st.lists(finite_floats, min_size=1, max_size=50),
+    st.lists(finite_floats, min_size=1, max_size=50),
+)
+@settings(max_examples=100)
+def test_merge_equals_combined(xs, ys):
+    a = OnlineStats()
+    b = OnlineStats()
+    combined = OnlineStats()
+    for x in xs:
+        a.add(x)
+        combined.add(x)
+    for y in ys:
+        b.add(y)
+        combined.add(y)
+    merged = a.merge(b)
+    assert merged.count == combined.count
+    assert merged.mean == pytest.approx(combined.mean, abs=1e-6, rel=1e-9)
+    assert merged.variance == pytest.approx(
+        combined.variance, abs=1e-3, rel=1e-5
+    )
+    assert merged.minimum == combined.minimum
+    assert merged.maximum == combined.maximum
+
+
+def test_merge_with_empty():
+    a = OnlineStats()
+    a.add(1.0)
+    a.add(3.0)
+    merged = a.merge(OnlineStats())
+    assert merged.mean == 2.0
+    assert merged.count == 2
+
+
+def test_coefficient_of_variation():
+    stats = OnlineStats()
+    for x in (8.0, 12.0):
+        stats.add(x)
+    assert stats.coefficient_of_variation == pytest.approx(
+        stats.stddev / 10.0
+    )
+
+
+def test_reset_clears_everything():
+    stats = OnlineStats()
+    stats.add(1.0)
+    stats.reset()
+    assert stats.count == 0
+    assert stats.mean == 0.0
+
+
+def test_window_stats_roll():
+    window = WindowStats()
+    window.add(1.0)
+    window.add(3.0)
+    finished = window.roll()
+    assert finished.mean == 2.0
+    window.add(10.0)
+    assert window.window.mean == 10.0
+    assert window.lifetime.count == 3
+
+
+def test_time_series_roundtrip():
+    series = TimeSeries("t")
+    series.append(1.0, 10.0)
+    series.append(2.0, 20.0)
+    assert len(series) == 2
+    assert list(series) == [(1.0, 10.0), (2.0, 20.0)]
+    assert series.last() == (2.0, 20.0)
+    assert series.mean() == 15.0
+
+
+def test_confidence_interval_empty_and_single():
+    mean, half = mean_confidence_interval([])
+    assert half == math.inf
+    mean, half = mean_confidence_interval([3.0])
+    assert mean == 3.0
+    assert half == math.inf
+
+
+def test_confidence_interval_shrinks_with_n():
+    samples_small = [1.0, 2.0, 3.0]
+    samples_large = samples_small * 20
+    _, half_small = mean_confidence_interval(samples_small)
+    _, half_large = mean_confidence_interval(samples_large)
+    assert half_large < half_small
+
+
+def test_confidence_interval_zero_variance():
+    mean, half = mean_confidence_interval([5.0] * 10)
+    assert mean == 5.0
+    assert half == pytest.approx(0.0)
+
+
+def test_replicate_until_stops_when_tight():
+    mean, half, samples = replicate_until(
+        lambda i: 2.0, target_half_width=0.5
+    )
+    assert mean == 2.0
+    assert half <= 0.5
+    assert len(samples) == 3  # the minimum
+
+
+def test_replicate_until_respects_max():
+    calls = []
+
+    def noisy(i):
+        calls.append(i)
+        return float(i % 2) * 1000.0  # huge variance, never converges
+
+    mean, half, samples = replicate_until(
+        noisy, target_half_width=0.001, max_replications=10
+    )
+    assert len(samples) == 10

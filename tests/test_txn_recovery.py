@@ -1,0 +1,138 @@
+"""Unit tests for crash recovery and in-doubt resolution."""
+
+import pytest
+
+from repro.cluster.config import DiskParameters
+from repro.cluster.disk import Disk
+from repro.sim.engine import Environment
+from repro.txn.recovery import recover_all, recover_node
+from repro.txn.wal import LogRecordKind, WriteAheadLog
+
+
+def make_logs(num_nodes=3):
+    env = Environment()
+    logs = {
+        n: WriteAheadLog(env, Disk(env, DiskParameters()), n)
+        for n in range(num_nodes)
+    }
+    return env, logs
+
+
+def force(env, log):
+    def proc():
+        yield from log.force()
+
+    env.process(proc())
+    env.run()
+
+
+def test_locally_committed_redone():
+    env, logs = make_logs()
+    logs[1].append(7, LogRecordKind.UPDATE, page_id=4, payload="v")
+    logs[1].append(7, LogRecordKind.COMMIT)
+    force(env, logs[1])
+    report = recover_node(logs, 1)
+    assert report.locally_committed == {7}
+    assert report.redone_pages == {4: "v"}
+    assert not report.in_doubt
+
+
+def test_in_doubt_resolved_commit_from_coordinator_log():
+    """Participant crashed after PREPARE; coordinator committed."""
+    env, logs = make_logs()
+    # Participant node 1: durable UPDATE + PREPARE, no outcome.
+    logs[1].append(9, LogRecordKind.UPDATE, page_id=4, payload="x")
+    logs[1].append(9, LogRecordKind.PREPARE)
+    force(env, logs[1])
+    # Coordinator node 0: durable COMMIT (the commit point was reached).
+    logs[0].append(9, LogRecordKind.COMMIT)
+    force(env, logs[0])
+
+    report = recover_node(logs, 1)
+    assert report.in_doubt == {9}
+    assert report.resolved_commit == {9}
+    assert report.redone_pages == {4: "x"}
+
+
+def test_in_doubt_resolved_abort_when_no_decision_anywhere():
+    """Coordinator crashed before its commit point: presumed abort."""
+    env, logs = make_logs()
+    logs[1].append(9, LogRecordKind.UPDATE, page_id=4, payload="x")
+    logs[1].append(9, LogRecordKind.PREPARE)
+    force(env, logs[1])
+
+    report = recover_node(logs, 1)
+    assert report.resolved_abort == {9}
+    assert report.redone_pages == {}
+
+
+def test_unflushed_prepare_means_not_in_doubt():
+    """A PREPARE that never reached disk does not survive the crash."""
+    env, logs = make_logs()
+    logs[1].append(9, LogRecordKind.UPDATE, page_id=4, payload="x")
+    logs[1].append(9, LogRecordKind.PREPARE)
+    # No force: the records are lost.
+    report = recover_node(logs, 1)
+    assert not report.in_doubt
+    assert report.redone_pages == {}
+
+
+def test_aborted_transaction_not_redone():
+    env, logs = make_logs()
+    logs[0].append(5, LogRecordKind.UPDATE, page_id=2, payload="bad")
+    logs[0].append(5, LogRecordKind.PREPARE)
+    logs[0].append(5, LogRecordKind.ABORT)
+    force(env, logs[0])
+    report = recover_node(logs, 0)
+    assert not report.in_doubt
+    assert report.redone_pages == {}
+
+
+def test_recover_all_covers_every_node():
+    env, logs = make_logs(3)
+    for n in range(3):
+        logs[n].append(n + 1, LogRecordKind.UPDATE, page_id=n,
+                       payload=str(n))
+        logs[n].append(n + 1, LogRecordKind.COMMIT)
+        force(env, logs[n])
+    reports = recover_all(logs)
+    assert set(reports) == {0, 1, 2}
+    for n, report in reports.items():
+        assert report.redone_pages == {n: str(n)}
+
+
+def test_recover_unknown_node_rejected():
+    _, logs = make_logs(2)
+    with pytest.raises(KeyError):
+        recover_node(logs, 9)
+
+
+def test_end_to_end_crash_consistency():
+    """Run real transactions, then verify recovery agrees with the
+    transaction manager's outcome on every node."""
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.config import SystemConfig
+    from repro.txn.manager import TransactionManager
+
+    cluster = Cluster(SystemConfig(num_pages=60), seed=5)
+    manager = TransactionManager(cluster)
+    outcomes = {}
+
+    def worker(i):
+        txn = manager.begin(i % 3)
+        yield from manager.write(txn, i % 20, payload=f"w{i}")
+        yield from manager.write(txn, (i + 7) % 20, payload=f"w{i}b")
+        committed = yield from manager.commit(txn)
+        outcomes[txn.txn_id] = committed
+
+    for i in range(12):
+        cluster.env.process(worker(i))
+    cluster.env.run()
+
+    reports = recover_all(manager.logs)
+    committed_ids = {t for t, ok in outcomes.items() if ok}
+    recovered = set()
+    for report in reports.values():
+        assert not report.resolved_abort  # no failures injected
+        recovered |= report.committed
+    assert committed_ids <= recovered

@@ -1,0 +1,104 @@
+"""Integration tests for the workload generator."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.spec import ClassSpec, WorkloadSpec
+
+
+class RecordingSink:
+    def __init__(self):
+        self.arrivals = []
+        self.completions = []
+
+    def on_arrival(self, node_id, class_id, now):
+        self.arrivals.append((node_id, class_id, now))
+
+    def on_complete(self, node_id, class_id, response_ms, now):
+        self.completions.append((node_id, class_id, response_ms, now))
+
+
+def build(fast_config, fast_workload, seed=0):
+    cluster = Cluster(fast_config, seed=seed)
+    sink = RecordingSink()
+    generator = WorkloadGenerator(cluster, fast_workload, sink=sink)
+    return cluster, generator, sink
+
+
+def test_operations_arrive_on_every_node_and_class(
+    fast_config, fast_workload
+):
+    cluster, generator, sink = build(fast_config, fast_workload)
+    generator.start()
+    cluster.env.run(until=20_000.0)
+    seen = {(n, c) for n, c, _ in sink.arrivals}
+    expected = {
+        (n, c.class_id)
+        for n in range(fast_config.num_nodes)
+        for c in fast_workload.classes
+    }
+    assert seen == expected
+
+
+def test_arrival_rate_close_to_spec(fast_config, fast_workload):
+    cluster, generator, sink = build(fast_config, fast_workload)
+    generator.start()
+    horizon = 100_000.0
+    cluster.env.run(until=horizon)
+    per_node_class = {}
+    for node_id, class_id, _ in sink.arrivals:
+        key = (node_id, class_id)
+        per_node_class[key] = per_node_class.get(key, 0) + 1
+    for (node_id, class_id), count in per_node_class.items():
+        spec = fast_workload.spec_for(class_id)
+        expected = spec.arrival_rate_per_node * horizon
+        assert count == pytest.approx(expected, rel=0.25)
+
+
+def test_completions_have_positive_response_times(
+    fast_config, fast_workload
+):
+    cluster, generator, sink = build(fast_config, fast_workload)
+    generator.start()
+    cluster.env.run(until=20_000.0)
+    assert sink.completions
+    assert all(rt > 0 for _, _, rt, _ in sink.completions)
+
+
+def test_operations_access_only_class_pages(fast_config):
+    pages = tuple(range(10))
+    workload = WorkloadSpec(classes=[
+        ClassSpec(class_id=1, goal_ms=5.0, pages=pages,
+                  pages_per_op=2, arrival_rate_per_node=0.01),
+    ])
+    cluster = Cluster(fast_config, seed=1)
+    generator = WorkloadGenerator(cluster, workload)
+    generator.start()
+    cluster.env.run(until=30_000.0)
+    touched = {
+        p for p in range(fast_config.num_pages)
+        if cluster.directory.cached_anywhere(p)
+    }
+    assert touched <= set(pages)
+    assert touched  # something was accessed
+
+
+def test_generator_is_deterministic(fast_config, fast_workload):
+    _, gen_a, sink_a = build(fast_config, fast_workload, seed=5)
+    _, gen_b, sink_b = build(fast_config, fast_workload, seed=5)
+    gen_a.cluster.env is not gen_b.cluster.env
+    gen_a.start()
+    gen_b.start()
+    gen_a.cluster.env.run(until=10_000.0)
+    gen_b.cluster.env.run(until=10_000.0)
+    assert sink_a.arrivals == sink_b.arrivals
+    assert sink_a.completions == sink_b.completions
+
+
+def test_counters_track_progress(fast_config, fast_workload):
+    cluster, generator, _ = build(fast_config, fast_workload)
+    generator.start()
+    cluster.env.run(until=20_000.0)
+    assert generator.operations_started >= generator.operations_completed
+    assert generator.operations_completed > 0

@@ -1,0 +1,85 @@
+"""Unit + property tests for the Zipf sampler."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.zipf import ZipfPagePicker, ZipfSampler
+
+
+def test_theta_zero_is_uniform():
+    sampler = ZipfSampler(num_items=4, theta=0.0)
+    for rank in range(4):
+        assert sampler.probability(rank) == pytest.approx(0.25)
+
+
+def test_probabilities_sum_to_one():
+    sampler = ZipfSampler(num_items=100, theta=0.8)
+    total = sum(sampler.probability(r) for r in range(100))
+    assert total == pytest.approx(1.0)
+
+
+def test_probabilities_decrease_with_rank():
+    sampler = ZipfSampler(num_items=50, theta=1.0)
+    probs = [sampler.probability(r) for r in range(50)]
+    assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+
+def test_theta_one_ratios():
+    """Classic Zipf: p(rank 0) / p(rank 1) == 2."""
+    sampler = ZipfSampler(num_items=10, theta=1.0)
+    assert sampler.probability(0) / sampler.probability(1) == pytest.approx(
+        2.0
+    )
+
+
+def test_empirical_distribution_matches():
+    sampler = ZipfSampler(num_items=5, theta=1.0)
+    rng = random.Random(1)
+    n = 50_000
+    counts = Counter(sampler.sample(rng) for _ in range(n))
+    for rank in range(5):
+        assert counts[rank] / n == pytest.approx(
+            sampler.probability(rank), abs=0.01
+        )
+
+
+def test_higher_skew_concentrates_mass():
+    low = ZipfSampler(num_items=100, theta=0.25)
+    high = ZipfSampler(num_items=100, theta=1.0)
+    top10_low = sum(low.probability(r) for r in range(10))
+    top10_high = sum(high.probability(r) for r in range(10))
+    assert top10_high > top10_low
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        ZipfSampler(num_items=0, theta=0.5)
+    with pytest.raises(ValueError):
+        ZipfSampler(num_items=5, theta=-0.1)
+    with pytest.raises(ValueError):
+        ZipfSampler(num_items=5, theta=0.5).probability(5)
+
+
+def test_page_picker_maps_ranks_to_pages():
+    picker = ZipfPagePicker(pages=[100, 200, 300], theta=1.0)
+    rng = random.Random(0)
+    draws = {picker.pick(rng) for _ in range(200)}
+    assert draws <= {100, 200, 300}
+    assert 100 in draws  # the hottest page must appear
+
+
+@given(
+    st.integers(min_value=1, max_value=500),
+    st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=100)
+def test_property_samples_in_range(num_items, theta, seed):
+    sampler = ZipfSampler(num_items, theta)
+    rng = random.Random(seed)
+    for _ in range(20):
+        assert 0 <= sampler.sample(rng) < num_items
