@@ -1,0 +1,191 @@
+"""Substrate performance report: ``python benchmarks/perf_report.py``.
+
+Times the same workloads as :mod:`benchmarks.test_kernel_microbench`
+with a plain ``time.perf_counter`` harness (no pytest needed) plus a
+small fixed figure-2 run, and writes ``BENCH_substrate.json`` at the
+repository root.
+
+The ``BASELINE_SECONDS`` constants are the best-of-5 times of the same
+workloads measured on the pre-optimization substrate (commit
+``db4fa24``, CPython 3.11, single core) on the same machine that
+produced the committed report — they are the reference the recorded
+``speedup`` figures are relative to.  Re-run this script after kernel
+changes and compare against your own machine's committed numbers, not
+across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.cluster.cluster import Cluster  # noqa: E402
+from repro.cluster.config import SystemConfig  # noqa: E402
+from repro.sim.engine import Environment  # noqa: E402
+from repro.sim.resources import Resource  # noqa: E402
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+
+#: Pre-change reference times (seconds, best of 5) for this machine.
+BASELINE_SECONDS = {
+    "event_throughput": 0.0300,   # 10k timeout events
+    "page_access_path": 0.2666,   # 2k data-shipping accesses
+}
+
+EVENT_COUNT = 10_000
+ACCESS_COUNT = 2_000
+
+
+def best_of(setup, run, repeats: int) -> float:
+    """Best wall-clock time of ``run(state)`` over fresh setups."""
+    best = float("inf")
+    for _ in range(repeats):
+        state = setup()
+        start = time.perf_counter()
+        run(state)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best
+
+
+def bench_event_throughput(repeats: int) -> float:
+    """Schedule-and-dispatch cost of 10k timeout events."""
+
+    def run(_):
+        env = Environment()
+
+        def proc():
+            for _ in range(EVENT_COUNT):
+                yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run()
+        assert env.now == float(EVENT_COUNT)
+
+    return best_of(lambda: None, run, repeats)
+
+
+def bench_resource_throughput(repeats: int) -> float:
+    """Acquire/release cycles through a contended FCFS resource."""
+
+    def run(_):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+
+        def proc():
+            for _ in range(500):
+                with resource.request() as req:
+                    yield req
+                    yield env.timeout(0.1)
+
+        for _ in range(4):
+            env.process(proc())
+        env.run()
+
+    return best_of(lambda: None, run, repeats)
+
+
+def bench_page_access_path(repeats: int) -> float:
+    """End-to-end cost of the data-shipping access path (mixed hits).
+
+    A fresh cold cluster per repeat so every measurement sees the same
+    hit/miss mix as the pytest microbenchmark's single round.
+    """
+
+    def setup():
+        return Cluster(SystemConfig(num_pages=500), seed=0)
+
+    def run(cluster):
+        def proc():
+            for i in range(ACCESS_COUNT):
+                yield from cluster.access_page(
+                    i % 3, (i * 7) % 500, class_id=0
+                )
+
+        cluster.env.process(proc())
+        cluster.env.run()
+
+    return best_of(setup, run, repeats)
+
+
+def bench_figure2_wallclock() -> float:
+    """One short fixed figure-2 run (controller + workload end to end)."""
+    from repro.cluster.config import NodeParameters
+    from repro.experiments.calibration import GoalRange
+    from repro.experiments.figure2 import run_figure2
+
+    config = SystemConfig(
+        num_nodes=3,
+        num_pages=400,
+        node=NodeParameters(buffer_bytes=256 * 1024),
+        observation_interval_ms=2_000.0,
+    )
+    goal_range = GoalRange(class_id=1, goal_min_ms=2.0, goal_max_ms=8.0)
+    start = time.perf_counter()
+    run_figure2(
+        config=config,
+        goal_range=goal_range,
+        seed=42,
+        intervals=4,
+        warmup_ms=4_000.0,
+    )
+    return time.perf_counter() - start
+
+
+def build_report(repeats: int) -> dict:
+    benchmarks = {}
+
+    def record(name, seconds, ops=None):
+        entry = {"seconds": round(seconds, 6)}
+        if ops is not None:
+            entry["ops_per_s"] = round(ops / seconds)
+        baseline = BASELINE_SECONDS.get(name)
+        if baseline is not None:
+            entry["baseline_seconds"] = baseline
+            entry["speedup"] = round(baseline / seconds, 2)
+        benchmarks[name] = entry
+
+    record(
+        "event_throughput", bench_event_throughput(repeats), EVENT_COUNT
+    )
+    record("resource_throughput", bench_resource_throughput(repeats))
+    record(
+        "page_access_path", bench_page_access_path(repeats), ACCESS_COUNT
+    )
+    record("figure2_short_run", bench_figure2_wallclock())
+
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=20,
+        help="best-of repeats per microbenchmark (default 20)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=REPORT_PATH,
+        help=f"output path (default {REPORT_PATH})",
+    )
+    args = parser.parse_args(argv)
+    report = build_report(args.repeats)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nreport written to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,7 +26,14 @@ from repro.bufmgr.heat import GlobalHeatRegistry, HeatTracker
 
 
 class BenefitModel:
-    """Everything needed to price a cached page on one node."""
+    """Everything needed to price a cached page on one node.
+
+    The three :class:`CostObserver` levels are cached against the
+    observer's ``version`` counter: they change only when a finished
+    request reports a new measurement, while ``benefit`` runs on every
+    heap push and eviction candidate — so the cache turns three
+    enum-keyed stat lookups per pricing into one integer comparison.
+    """
 
     def __init__(
         self,
@@ -43,18 +50,29 @@ class BenefitModel:
         self.costs = costs
         self._is_last_copy = is_last_copy
         self.clock = clock
+        self._cost_version = -1  # forces a refresh on first pricing
+        self._keep_spread = 0.0       # cost_remote - cost_local, >= 0
+        self._last_copy_spread = 0.0  # cost_disk - cost_remote, >= 0
+
+    def _refresh_costs(self) -> None:
+        costs = self.costs
+        self._cost_version = costs.version
+        cost_local = costs.cost(AccessLevel.LOCAL)
+        cost_remote = costs.cost(AccessLevel.REMOTE)
+        cost_disk = costs.cost(AccessLevel.DISK)
+        self._keep_spread = max(cost_remote - cost_local, 0.0)
+        self._last_copy_spread = max(cost_disk - cost_remote, 0.0)
 
     def benefit(self, page_id: int) -> float:
         """Expected cost saved per time unit by keeping ``page_id``."""
+        if self._cost_version != self.costs.version:
+            self._refresh_costs()
         now = self.clock()
-        cost_local = self.costs.cost(AccessLevel.LOCAL)
-        cost_remote = self.costs.cost(AccessLevel.REMOTE)
-        cost_disk = self.costs.cost(AccessLevel.DISK)
-        local = self.local_heat.heat(page_id, now)
-        value = local * max(cost_remote - cost_local, 0.0)
+        value = self.local_heat.heat(page_id, now) * self._keep_spread
         if self._is_last_copy(page_id, self.node_id):
-            global_rate = self.global_heat.heat(page_id, now)
-            value += global_rate * max(cost_disk - cost_remote, 0.0)
+            value += (
+                self.global_heat.heat(page_id, now) * self._last_copy_spread
+            )
         return value
 
 
@@ -100,22 +118,33 @@ class CostBasedPool(BufferPool):
         raise KeyError("pool is empty")
 
     def _select_victim(self) -> int:
+        """Re-price the ``revalidate`` cheapest candidates and evict one.
+
+        Each candidate is priced exactly once: the fresh benefit drives
+        both the victim comparison and the re-push of the survivors, so
+        no page is priced twice within one eviction.
+        """
+        benefit = self.model.benefit
         candidates = []
         limit = min(self.revalidate, len(self._pages))
-        while len(candidates) < limit:
+        for _ in range(limit):
             _, page_id = self._pop_valid()
-            candidates.append((self.model.benefit(page_id), page_id))
-        candidates.sort()
-        victim = candidates[0][1]
-        for benefit, page_id in candidates[1:]:
+            candidates.append((benefit(page_id), page_id))
+        best = min(candidates)
+        victim = best[1]
+        heap = self._heap
+        push = heapq.heappush
+        for entry in candidates:
+            if entry[1] == victim:
+                continue
             self._seq += 1
-            self._pages[page_id] = self._seq
-            heapq.heappush(self._heap, (benefit, self._seq, page_id))
+            self._pages[entry[1]] = self._seq
+            push(heap, (entry[0], self._seq, entry[1]))
         # The victim stays indexed until _discard removes it; restore
         # its entry so state is consistent even if the caller keeps it.
         self._seq += 1
         self._pages[victim] = self._seq
-        heapq.heappush(self._heap, (candidates[0][0], self._seq, victim))
+        push(heap, (best[0], self._seq, victim))
         return victim
 
     def _store(self, page_id: int) -> None:

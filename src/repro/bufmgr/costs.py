@@ -48,12 +48,17 @@ class CostObserver:
         self._stats: Dict[AccessLevel, OnlineStats] = {
             level: OnlineStats() for level in AccessLevel
         }
+        #: Bumped on every observation; consumers (e.g.
+        #: :class:`~repro.bufmgr.costbased.BenefitModel`) cache the
+        #: per-level means and invalidate when the version moves.
+        self.version = 0
 
     def observe(self, level: AccessLevel, elapsed_ms: float) -> None:
         """Fold one finished request's elapsed time into the estimate."""
         if elapsed_ms < 0:
             raise ValueError("elapsed time must be non-negative")
         self._stats[level].add(elapsed_ms)
+        self.version += 1
 
     def cost(self, level: AccessLevel) -> float:
         """Current mean cost estimate for ``level`` in milliseconds."""

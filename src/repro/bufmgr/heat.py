@@ -88,11 +88,43 @@ class GlobalHeatRegistry:
         self._tracker.record(page_id, now)
         pending = self._pending.get(page_id, 0) + 1
         if pending >= self._threshold:
-            pending = 0
+            # Drop the key instead of storing 0 so ``_pending`` only
+            # holds pages part-way to their next dissemination.
+            self._pending.pop(page_id, None)
             if self._on_update is not None:
                 self._on_update()
-        self._pending[page_id] = pending
+        else:
+            self._pending[page_id] = pending
 
     def heat(self, page_id: int, now: float) -> float:
         """Cluster-wide access rate estimate for ``page_id``."""
         return self._tracker.heat(page_id, now)
+
+    def forget(self, page_id: int) -> None:
+        """Delete all bookkeeping for ``page_id`` (on-demand, §6).
+
+        Called from discard paths where heat state is genuinely lost
+        (node restart wiping the last cached copy).  Ordinary evictions
+        must NOT forget: cluster-wide heat is an access-frequency
+        statistic that has to survive transient evictions for the
+        last-copy benefit term to mean anything.
+        """
+        self._tracker.forget(page_id)
+        self._pending.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Drop every page's bookkeeping (cluster-wide reset)."""
+        self._tracker.clear()
+        self._pending.clear()
+
+    def tracked(self, page_id: int) -> bool:
+        """True if any access to ``page_id`` is on record."""
+        return self._tracker.tracked(page_id)
+
+    def __len__(self) -> int:
+        return len(self._tracker)
+
+    @property
+    def pending_count(self) -> int:
+        """Pages currently part-way to their next update (inspection)."""
+        return len(self._pending)

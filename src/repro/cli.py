@@ -28,7 +28,9 @@ def _cmd_table1(args) -> None:
 def _cmd_figure2(args) -> None:
     from repro.experiments.figure2 import run_figure2
 
-    data = run_figure2(seed=args.seed, intervals=args.intervals)
+    data = run_figure2(
+        seed=args.seed, intervals=args.intervals, jobs=args.jobs
+    )
     if args.chart:
         print(data.to_chart())
     else:
@@ -44,7 +46,9 @@ def _cmd_table2(args) -> None:
     from repro.experiments import table2
 
     results = table2.run_table2(
-        max_replications=args.replications, base_seed=args.seed
+        max_replications=args.replications,
+        base_seed=args.seed,
+        jobs=args.jobs,
     )
     print(table2.to_text(results))
 
@@ -52,7 +56,7 @@ def _cmd_table2(args) -> None:
 def _cmd_multiclass(args) -> None:
     from repro.experiments.multiclass import run_sharing_sweep
 
-    result = run_sharing_sweep(intervals=args.intervals)
+    result = run_sharing_sweep(intervals=args.intervals, jobs=args.jobs)
     print(result.to_text())
     print(
         "k2 dedicated memory decreases with sharing: "
@@ -107,6 +111,28 @@ def _cmd_demo(args) -> None:
         )
 
 
+def _jobs_value(text: str) -> int:
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            "must be >= 1 (or 0 for all cores)"
+        )
+    return jobs
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_jobs_value, default=1, metavar="N",
+        help=(
+            "worker processes for independent simulation runs "
+            "(0 = all cores); results are identical for any value"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -129,15 +155,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render as an ASCII chart instead of a table")
     p.add_argument("--csv", metavar="PATH",
                    help="also export the series as CSV")
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_figure2)
 
     p = sub.add_parser("table2", help="convergence vs. skew")
     p.add_argument("--seed", type=int, default=100)
     p.add_argument("--replications", type=int, default=12)
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_table2)
 
     p = sub.add_parser("multiclass", help="§7.4 sharing study")
     p.add_argument("--intervals", type=int, default=60)
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_multiclass)
 
     p = sub.add_parser("overhead", help="§7.5 overhead breakdown")

@@ -175,8 +175,20 @@ class Cluster:
         node = self.nodes[node_id]
         dropped = node.buffers.clear()
         self._unregister(node_id, dropped)
+        # Restart semantics: heat state is lost.  Pages whose only
+        # cached copy lived on this node go fully cold cluster-wide, so
+        # their global-heat bookkeeping is deleted on demand (§6).
+        # Ordinary evictions deliberately do NOT forget: cluster-wide
+        # heat is an access-frequency statistic that must survive a
+        # transient eviction, or the last-copy benefit term would reset
+        # to zero on every re-admission.
+        directory = self.directory
+        for page_id in dropped:
+            if not directory.cached_anywhere(page_id):
+                self.global_heat.forget(page_id)
         return len(dropped)
 
     def _unregister(self, node_id: int, dropped: List[int]) -> None:
+        directory = self.directory
         for page_id in dropped:
-            self.directory.unregister(page_id, node_id)
+            directory.unregister(page_id, node_id)

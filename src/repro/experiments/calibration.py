@@ -89,15 +89,33 @@ def calibrate_goal_range(
     policy: str = "cost",
     warmup_ms: float = 60_000.0,
     measure_ms: float = 90_000.0,
+    jobs: int = 1,
 ) -> GoalRange:
-    """Measure the §7.3 goal interval for ``class_id``."""
-    rt_two_thirds = measure_static_rt(
-        workload, class_id, 2.0 / 3.0, config, seed, policy,
-        warmup_ms, measure_ms,
-    )
-    rt_one_third = measure_static_rt(
-        workload, class_id, 1.0 / 3.0, config, seed, policy,
-        warmup_ms, measure_ms,
-    )
+    """Measure the §7.3 goal interval for ``class_id``.
+
+    ``jobs > 1`` runs the two independent static-allocation anchors in
+    parallel worker processes; the result is identical to the serial
+    path because each anchor is a self-contained seeded simulation.
+    """
+    tasks = [
+        (workload, class_id, fraction, config, seed, policy,
+         warmup_ms, measure_ms)
+        for fraction in (2.0 / 3.0, 1.0 / 3.0)
+    ]
+    if jobs > 1:
+        from repro.experiments.parallel import run_tasks
+
+        rt_two_thirds, rt_one_third = run_tasks(
+            _measure_static_rt_task, tasks, jobs=jobs
+        )
+    else:
+        rt_two_thirds, rt_one_third = (
+            _measure_static_rt_task(task) for task in tasks
+        )
     low, high = sorted([rt_two_thirds, rt_one_third])
     return GoalRange(class_id=class_id, goal_min_ms=low, goal_max_ms=high)
+
+
+def _measure_static_rt_task(task) -> float:
+    """Module-level worker so calibration anchors can cross processes."""
+    return measure_static_rt(*task)

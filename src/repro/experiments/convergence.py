@@ -16,10 +16,15 @@ change:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.experiments.calibration import GoalRange, calibrate_goal_range
+from repro.experiments.parallel import (
+    derive_replicate_seed,
+    replicate_with_stopping,
+)
 from repro.experiments.runner import Simulation, default_workload
 from repro.cluster.config import SystemConfig
 from repro.sim.stats import mean_confidence_interval
@@ -118,6 +123,22 @@ def measure_convergence_run(
     return samples
 
 
+def _convergence_replicate(
+    settings: ConvergenceSettings,
+    goal_range: GoalRange,
+    base_seed: int,
+    index: int,
+) -> List[int]:
+    """Replicate ``index`` of a convergence experiment.
+
+    Module-level (with picklable arguments) so ``functools.partial``
+    over it can cross the process boundary when ``jobs > 1``.
+    """
+    return measure_convergence_run(
+        settings, goal_range, seed=derive_replicate_seed(base_seed, index)
+    )
+
+
 def convergence_experiment(
     settings: Optional[ConvergenceSettings] = None,
     goal_range: Optional[GoalRange] = None,
@@ -126,6 +147,7 @@ def convergence_experiment(
     min_replications: int = 3,
     max_replications: int = 12,
     base_seed: int = 100,
+    jobs: int = 1,
 ) -> ConvergenceResult:
     """Replicated convergence measurement for one skew setting.
 
@@ -133,6 +155,10 @@ def convergence_experiment(
     mean drops below ``target_half_width`` iterations (the paper's
     "accuracy of less than 1 iteration ... with a statistical
     confidence of 99 percent"), or at ``max_replications``.
+
+    ``jobs`` runs replicates on worker processes; the stopping rule is
+    applied over the index-ordered prefix of replicate results, so any
+    ``jobs`` value yields the same samples and statistics as ``jobs=1``.
     """
     settings = settings if settings is not None else ConvergenceSettings()
     if goal_range is None:
@@ -147,23 +173,22 @@ def convergence_experiment(
             config=settings.config,
             seed=base_seed,
             policy=settings.policy,
+            jobs=jobs,
         )
-    samples: List[int] = []
-    mean, half = 0.0, float("inf")
-    replication = 0
-    while replication < max_replications:
-        samples.extend(
-            measure_convergence_run(
-                settings, goal_range, seed=base_seed + replication
-            )
-        )
-        replication += 1
-        if replication >= min_replications:
-            mean, half = mean_confidence_interval(samples, confidence)
-            if half <= target_half_width:
-                break
-    if replication < min_replications:
-        mean, half = mean_confidence_interval(samples, confidence)
+    worker = functools.partial(
+        _convergence_replicate, settings, goal_range, base_seed
+    )
+
+    def stop(runs: List[List[int]]) -> bool:
+        merged = [sample for run in runs for sample in run]
+        _, half = mean_confidence_interval(merged, confidence)
+        return half <= target_half_width
+
+    runs = replicate_with_stopping(
+        worker, min_replications, max_replications, stop, jobs=jobs
+    )
+    samples = [sample for run in runs for sample in run]
+    mean, half = mean_confidence_interval(samples, confidence)
     return ConvergenceResult(
         skew=settings.skew,
         mean_iterations=mean,

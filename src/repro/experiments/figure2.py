@@ -102,21 +102,29 @@ def run_figure2(
     arrival_rate_per_node: float = 0.02,
     satisfied_before_change: int = 4,
     warmup_ms: float = 20_000.0,
+    recorder=None,
+    jobs: int = 1,
 ) -> Figure2Data:
-    """Run the base experiment and return the Figure 2 series."""
+    """Run the base experiment and return the Figure 2 series.
+
+    ``recorder`` (a :class:`~repro.workload.trace.TraceRecorder`)
+    captures the generated operation stream; ``jobs`` parallelizes the
+    goal-range calibration runs when no ``goal_range`` is given.
+    """
     config = config if config is not None else SystemConfig()
     workload = default_workload(
         config, skew=skew, arrival_rate_per_node=arrival_rate_per_node
     )
     if goal_range is None:
         goal_range = calibrate_goal_range(
-            workload, class_id=1, config=config, seed=seed
+            workload, class_id=1, config=config, seed=seed, jobs=jobs
         )
     workload = workload.with_goal(
         1, 0.5 * (goal_range.goal_min_ms + goal_range.goal_max_ms)
     )
     sim = Simulation(
-        config=config, workload=workload, seed=seed, warmup_ms=warmup_ms
+        config=config, workload=workload, seed=seed, warmup_ms=warmup_ms,
+        recorder=recorder,
     )
     rng = sim.cluster.rng.stream("figure2/goals")
     state = {"satisfied_run": 0}

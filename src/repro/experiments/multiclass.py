@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
 from repro.cluster.config import NodeParameters, SystemConfig
+from repro.experiments.parallel import run_tasks
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import Simulation
 from repro.workload.spec import (
@@ -176,14 +177,25 @@ def run_sharing_point(
     )
 
 
+def _sharing_point_task(task) -> SharingPoint:
+    """Unpack one ``(sharing, kwargs)`` task (picklable for ``jobs>1``)."""
+    sharing, kwargs = task
+    return run_sharing_point(sharing, **kwargs)
+
+
 def run_sharing_sweep(
     sharings: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    jobs: int = 1,
     **kwargs,
 ) -> MulticlassResult:
-    """The full §7.4(b) sweep over sharing fractions."""
+    """The full §7.4(b) sweep over sharing fractions.
+
+    The sharing points are independent simulations, so ``jobs`` runs
+    them on worker processes; results keep the order of ``sharings``.
+    """
+    tasks = [(sharing, kwargs) for sharing in sharings]
     result = MulticlassResult()
-    for sharing in sharings:
-        result.points.append(run_sharing_point(sharing, **kwargs))
+    result.points.extend(run_tasks(_sharing_point_task, tasks, jobs=jobs))
     return result
 
 

@@ -31,6 +31,7 @@ class Simulation:
         policy: str = "cost",
         controller: Optional[GoalOrientedController] = None,
         warmup_ms: float = 0.0,
+        recorder=None,
         **controller_kwargs,
     ):
         self.config = config if config is not None else SystemConfig()
@@ -54,7 +55,7 @@ class Simulation:
             self.txn_manager = TransactionManager(self.cluster)
         self.generator = WorkloadGenerator(
             self.cluster, workload, sink=controller,
-            txn_manager=self.txn_manager,
+            recorder=recorder, txn_manager=self.txn_manager,
         )
         self.warmup_ms = warmup_ms
         self._started = False

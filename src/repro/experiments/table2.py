@@ -38,8 +38,14 @@ def run_table2(
     target_half_width: float = 1.0,
     max_replications: int = 12,
     base_seed: int = 100,
+    jobs: int = 1,
 ) -> List[ConvergenceResult]:
-    """Measure convergence speed for every skew value."""
+    """Measure convergence speed for every skew value.
+
+    ``jobs`` parallelizes the replicates *within* each skew point; the
+    sequential stopping rule is unchanged, so results are identical to
+    ``jobs=1`` for any value.
+    """
     settings = settings if settings is not None else ConvergenceSettings()
     results = []
     for skew in skews:
@@ -48,6 +54,7 @@ def run_table2(
             target_half_width=target_half_width,
             max_replications=max_replications,
             base_seed=base_seed,
+            jobs=jobs,
         )
         results.append(result)
     return results

@@ -10,6 +10,26 @@ fully deterministic for a fixed seed.
 
 Time is a ``float`` in **milliseconds** by convention throughout this
 project, although the kernel itself is unit-agnostic.
+
+Hot-path design
+---------------
+The kernel is the substrate every experiment pays for, so the dominant
+``yield env.timeout(...)`` round trip is aggressively specialized
+(without changing any observable ordering — the golden-trace test pins
+this down):
+
+- every event class uses ``__slots__``, and the ``_defused`` flag is an
+  ordinary slot instead of a ``getattr`` probe per dispatch;
+- a *fused timeout→resume* path: when a process is the first (and
+  typically only) waiter of a :class:`Timeout`, the process is stored
+  in the event's ``_fast_proc`` slot and resumed directly at dispatch,
+  skipping the callback-list append/iterate machinery and the bound
+  method allocation it implies;
+- :class:`Timeout` construction writes its slots and pushes onto the
+  heap inline instead of chaining ``Event.__init__`` → ``_schedule``;
+- :meth:`Environment.run` hoists the ``stop_at`` / ``stop_event``
+  branches out of the per-event loop into three specialized loops with
+  locally bound queue/heappop references.
 """
 
 from __future__ import annotations
@@ -46,11 +66,16 @@ class Event:
     and is *processed* once the environment has run its callbacks.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused",
+                 "_fast_proc")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = None
         self._ok: Optional[bool] = None
+        self._defused = False
+        self._fast_proc: Optional["Process"] = None
 
     @property
     def triggered(self) -> bool:
@@ -112,23 +137,34 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + Environment._schedule: a timeout is
+        # created per kernel round trip, so the chained calls matter.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        self._ok = True
+        self._defused = False
+        self._fast_proc = None
+        self.delay = delay
+        seq = env._seq
+        env._seq = seq + 1
+        heapq.heappush(env._queue, (env._now + delay, NORMAL, seq, self))
 
 
 class Initialize(Event):
     """Internal event that starts a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
-        self.callbacks.append(process._resume)
         self._ok = True
+        self._fast_proc = process
         env._schedule(self, URGENT)
 
 
@@ -139,6 +175,8 @@ class Process(Event):
     return value) when the generator terminates, so other processes may
     ``yield`` it to wait for completion.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send"):
@@ -167,19 +205,26 @@ class Process(Event):
         self.env._schedule(event, URGENT)
         # Unsubscribe from the event the process was waiting on: it will
         # be resumed by the interrupt instead.
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        target = self._target
+        if target is not None:
+            if target._fast_proc is self:
+                target._fast_proc = None
+            elif target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
             self._target = None
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        generator = self._generator
+        send = generator.send
         while True:
             if event._ok:
                 try:
-                    target = self._generator.send(event._value)
+                    target = send(event._value)
                 except StopIteration as stop:
                     self._terminate(True, stop.value)
                     break
@@ -190,28 +235,42 @@ class Process(Event):
                 # Mark the failure as handled: it is being delivered.
                 event._defused = True
                 try:
-                    target = self._generator.throw(event._value)
+                    target = generator.throw(event._value)
                 except StopIteration as stop:
                     self._terminate(True, stop.value)
                     break
                 except BaseException as exc:
                     self._terminate(False, exc)
                     break
+            if type(target) is Timeout:
+                callbacks = target.callbacks
+                if callbacks is not None:
+                    # Fused fast path: first waiter of a pending
+                    # timeout rides the _fast_proc slot (resumed before
+                    # any later callbacks, preserving FIFO order).
+                    if target._fast_proc is None and not callbacks:
+                        target._fast_proc = self
+                    else:
+                        callbacks.append(self._resume)
+                    self._target = target
+                    break
+                event = target
+                continue
             if not isinstance(target, Event):
                 exc = SimulationError(
                     f"process yielded a non-event: {target!r}"
                 )
-                event = Event(self.env)
+                event = Event(env)
                 event._ok = False
                 event._value = exc
                 continue
-            if target.processed:
+            if target.callbacks is None:  # already processed
                 event = target
                 continue
             target._add_callback(self._resume)
             self._target = target
             break
-        self.env._active_process = None
+        env._active_process = None
 
     def _terminate(self, ok: bool, value: Any) -> None:
         self._target = None
@@ -226,6 +285,8 @@ class _MultiEvent(Event):
     The value is a dict mapping the index of each *fired* child event
     to its value, collected at the moment the combinator triggers.
     """
+
+    __slots__ = ("_events", "_results", "_done")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -264,6 +325,8 @@ class _MultiEvent(Event):
 class AnyOf(_MultiEvent):
     """Fires when any of the given events has fired."""
 
+    __slots__ = ()
+
     def _check(self, done: int, total: int) -> bool:
         return done > 0
 
@@ -271,12 +334,16 @@ class AnyOf(_MultiEvent):
 class AllOf(_MultiEvent):
     """Fires when all of the given events have fired."""
 
+    __slots__ = ()
+
     def _check(self, done: int, total: int) -> bool:
         return done == total
 
 
 class Environment:
     """Event loop, simulation clock, and process factory."""
+
+    __slots__ = ("_now", "_queue", "_seq", "_active_process")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -319,10 +386,11 @@ class Environment:
     # -- scheduling ------------------------------------------------
 
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        seq = self._seq
+        self._seq = seq + 1
         heapq.heappush(
-            self._queue, (self._now + delay, priority, self._seq, event)
+            self._queue, (self._now + delay, priority, seq, event)
         )
-        self._seq += 1
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -334,10 +402,16 @@ class Environment:
             raise SimulationError("no more events")
         when, _, _, event = heapq.heappop(self._queue)
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not getattr(event, "_defused", False):
+        callbacks = event.callbacks
+        event.callbacks = None
+        proc = event._fast_proc
+        if proc is not None:
+            event._fast_proc = None
+            proc._resume(event)
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if not event._ok and not event._defused:
             # A failed event nobody waited for: surface the error
             # instead of silently dropping it.
             raise event._value
@@ -349,30 +423,67 @@ class Environment:
         (run until that simulation time), or an :class:`Event` (run until
         it is processed, returning its value).
         """
-        stop_at = None
-        stop_event = None
-        if until is not None:
-            if isinstance(until, Event):
-                stop_event = until
-            else:
-                stop_at = float(until)
-                if stop_at < self._now:
-                    raise ValueError("until lies in the past")
+        if until is None:
+            self._run_exhaust()
+            return None
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        stop_at = float(until)
+        if stop_at < self._now:
+            raise ValueError("until lies in the past")
+        self._run_until_time(stop_at)
+        return None
+
+    # The three loops below are step() inlined with the stop condition
+    # hoisted out of the per-event dispatch (one branch per event
+    # instead of three), with the queue and heappop locally bound.
+
+    def _run_exhaust(self) -> None:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            when, _, _, event = pop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            proc = event._fast_proc
+            if proc is not None:
+                event._fast_proc = None
+                proc._resume(event)
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
+
+    def _run_until_time(self, stop_at: float) -> None:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue and queue[0][0] < stop_at:
+            when, _, _, event = pop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            proc = event._fast_proc
+            if proc is not None:
+                event._fast_proc = None
+                proc._resume(event)
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
+        self._now = stop_at
+
+    def _run_until_event(self, stop_event: Event) -> Any:
         while self._queue:
-            if stop_at is not None and self.peek() >= stop_at:
-                self._now = stop_at
-                return None
-            if stop_event is not None and stop_event.processed:
+            if stop_event.callbacks is None:  # processed
                 break
             self.step()
-        if stop_event is not None:
-            if not stop_event.processed:
-                raise SimulationError(
-                    "simulation ended before the awaited event fired"
-                )
-            if not stop_event._ok:
-                raise stop_event._value
-            return stop_event._value
-        if stop_at is not None:
-            self._now = stop_at
-        return None
+        if stop_event.callbacks is not None:
+            raise SimulationError(
+                "simulation ended before the awaited event fired"
+            )
+        if not stop_event._ok:
+            raise stop_event._value
+        return stop_event._value

@@ -28,6 +28,8 @@ class Request(Event):
     resource (or cancels the request if it never got the resource).
     """
 
+    __slots__ = ("resource", "priority", "_enqueued_at")
+
     def __init__(self, resource: "Resource", priority: float = 0.0):
         super().__init__(resource.env)
         self.resource = resource
@@ -121,12 +123,14 @@ class Resource:
         return self._waiting.pop(0)
 
     def _grant_next(self) -> None:
-        while self._waiting and len(self.users) < self.capacity:
+        users = self.users
+        while self._waiting and len(users) < self.capacity:
             request = self._pop_next()
-            self.users.append(request)
+            users.append(request)
+            now = self.env._now
             if self._busy_since is None:
-                self._busy_since = self.env.now
-            waited = self.env.now - request._enqueued_at
+                self._busy_since = now
+            waited = now - request._enqueued_at
             self._grants += 1
             self._wait_total += waited
             request.succeed(waited)

@@ -5,11 +5,16 @@ parameter theta: the access frequency of the page with rank ``p``
 (1-based) is proportional to ``1 / p**theta``.  ``theta = 0`` is the
 uniform distribution; ``theta = 1`` is classic Zipf ("very highly
 skewed" in the paper's words).
+
+Sampling uses Walker's alias method: after an O(n) table build, every
+draw costs O(1) and consumes exactly **one** uniform variate from the
+caller's RNG stream, so the named-stream determinism of
+:class:`~repro.sim.rng.RandomStreams` is preserved (a fixed stream
+always yields the same rank sequence).
 """
 
 from __future__ import annotations
 
-import bisect
 import random
 from typing import List, Sequence
 
@@ -24,18 +29,44 @@ class ZipfSampler:
             raise ValueError("theta must be non-negative")
         self.num_items = num_items
         self.theta = theta
-        cumulative: List[float] = []
-        total = 0.0
-        for rank in range(1, num_items + 1):
-            total += rank ** (-theta)
-            cumulative.append(total)
-        self._cumulative = cumulative
-        self._total = total
+        weights = [rank ** (-theta) for rank in range(1, num_items + 1)]
+        self._total = sum(weights)
+        self._accept, self._alias = self._build_alias(weights, self._total)
+
+    @staticmethod
+    def _build_alias(weights: List[float], total: float):
+        """Vose's stable construction of the alias table."""
+        n = len(weights)
+        accept = [0.0] * n
+        alias = list(range(n))
+        # Scale so the average weight is exactly 1.
+        scaled = [w * n / total for w in weights]
+        small = [i for i, w in enumerate(scaled) if w < 1.0]
+        large = [i for i, w in enumerate(scaled) if w >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            accept[s] = scaled[s]
+            alias[s] = l
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        # Leftovers are exactly 1 up to float rounding.
+        for i in large:
+            accept[i] = 1.0
+        for i in small:
+            accept[i] = 1.0
+        return accept, alias
 
     def sample(self, rng: random.Random) -> int:
-        """Draw one rank in [0, num_items)."""
-        u = rng.random() * self._total
-        return bisect.bisect_left(self._cumulative, u)
+        """Draw one rank in [0, num_items) — O(1), one uniform consumed."""
+        scaled = rng.random() * self.num_items
+        column = int(scaled)
+        if scaled - column < self._accept[column]:
+            return column
+        return self._alias[column]
 
     def probability(self, rank: int) -> float:
         """Exact access probability of ``rank`` (0-based)."""

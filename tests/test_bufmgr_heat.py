@@ -97,3 +97,38 @@ def test_global_registry_threshold_per_page():
     assert updates == []  # neither page reached its own threshold
     registry.record(1, now=1.0)
     assert len(updates) == 1
+
+
+def test_global_registry_forget_deletes_bookkeeping():
+    registry = GlobalHeatRegistry(k=2, update_threshold=8)
+    registry.record(7, now=0.0)
+    registry.record(7, now=1.0)
+    assert registry.tracked(7)
+    assert registry.pending_count == 1
+    registry.forget(7)
+    assert not registry.tracked(7)
+    assert registry.heat(7, now=2.0) == 0.0
+    assert registry.pending_count == 0
+    assert len(registry) == 0
+    registry.forget(7)  # idempotent
+
+
+def test_global_registry_clear_resets_everything():
+    registry = GlobalHeatRegistry(k=2, update_threshold=8)
+    for page in range(5):
+        registry.record(page, now=float(page))
+    assert len(registry) == 5
+    registry.clear()
+    assert len(registry) == 0
+    assert registry.pending_count == 0
+
+
+def test_global_registry_pending_bounded_by_threshold_cycle():
+    """Reaching the threshold removes the page's pending counter."""
+    registry = GlobalHeatRegistry(k=2, update_threshold=3)
+    for i in range(3):
+        registry.record(1, now=float(i))
+    # Counter cycled through the threshold: no key left behind.
+    assert registry.pending_count == 0
+    registry.record(1, now=4.0)
+    assert registry.pending_count == 1

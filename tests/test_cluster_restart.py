@@ -80,3 +80,22 @@ def test_feedback_loop_recovers_from_restart(fast_config, fast_workload):
     assert any(satisfied_after), (
         "controller failed to re-converge after the node restart"
     )
+
+
+def test_restart_prunes_global_heat_of_fully_cold_pages(fast_config):
+    """Discard paths forget global-heat bookkeeping for last copies."""
+    cluster = Cluster(fast_config, seed=0)
+
+    def reader():
+        for page in range(0, 30, 3):  # pages homed at node 0
+            yield from cluster.access_page(0, page, 0)
+
+    cluster.env.process(reader())
+    cluster.env.run()
+    assert cluster.global_heat.tracked(0)
+    cluster.restart_node(0)
+    # Only node 0 cached those pages, so their cluster-wide heat
+    # bookkeeping is deleted on demand (§6).
+    for page in range(0, 30, 3):
+        if not cluster.directory.cached_anywhere(page):
+            assert not cluster.global_heat.tracked(page)

@@ -72,6 +72,47 @@ def test_page_picker_maps_ranks_to_pages():
     assert 100 in draws  # the hottest page must appear
 
 
+@pytest.mark.parametrize("theta", [0.0, 0.5, 1.0])
+def test_alias_table_matches_probability_chi_squared(theta):
+    """The alias sampler's empirical law matches ``probability`` (χ²).
+
+    100k draws over 50 ranks: the χ² statistic against the exact
+    probabilities has 49 degrees of freedom, whose 99.9th percentile is
+    ~85.4 — a comfortably deterministic bound with a fixed seed.
+    """
+    num_items = 50
+    draws = 100_000
+    sampler = ZipfSampler(num_items=num_items, theta=theta)
+    rng = random.Random(20_260_805 + int(theta * 100))
+    counts = Counter(sampler.sample(rng) for _ in range(draws))
+    chi2 = sum(
+        (counts[rank] - draws * sampler.probability(rank)) ** 2
+        / (draws * sampler.probability(rank))
+        for rank in range(num_items)
+    )
+    assert chi2 < 85.4
+
+
+def test_alias_table_is_exact_partition():
+    """Accept/alias tables preserve the probability mass exactly."""
+    sampler = ZipfSampler(num_items=97, theta=0.8)
+    n = sampler.num_items
+    mass = [sampler._accept[i] / n for i in range(n)]
+    for i in range(n):
+        if sampler._alias[i] != i:
+            mass[sampler._alias[i]] += (1.0 - sampler._accept[i]) / n
+    for rank in range(n):
+        assert mass[rank] == pytest.approx(
+            sampler.probability(rank), rel=1e-9
+        )
+
+
+def test_single_item_always_rank_zero():
+    sampler = ZipfSampler(num_items=1, theta=1.0)
+    rng = random.Random(3)
+    assert {sampler.sample(rng) for _ in range(50)} == {0}
+
+
 @given(
     st.integers(min_value=1, max_value=500),
     st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
