@@ -116,6 +116,33 @@ def bench_page_access_path(repeats: int) -> float:
     return best_of(setup, run, repeats)
 
 
+def bench_page_access_path_faults_idle(repeats: int) -> float:
+    """The access path with an idle fault layer attached.
+
+    An attached layer with an empty schedule adds only attribute
+    checks to the hot paths (no RNG draws, no extra processes); this
+    number pins that cost next to the plain ``page_access_path``.
+    """
+    from repro.faults import FaultInjector, FaultSchedule
+
+    def setup():
+        cluster = Cluster(SystemConfig(num_pages=500), seed=0)
+        FaultInjector(cluster, FaultSchedule([])).start()
+        return cluster
+
+    def run(cluster):
+        def proc():
+            for i in range(ACCESS_COUNT):
+                yield from cluster.access_page(
+                    i % 3, (i * 7) % 500, class_id=0
+                )
+
+        cluster.env.process(proc())
+        cluster.env.run()
+
+    return best_of(setup, run, repeats)
+
+
 def bench_figure2_wallclock() -> float:
     """One short fixed figure-2 run (controller + workload end to end)."""
     from repro.cluster.config import NodeParameters
@@ -159,6 +186,11 @@ def build_report(repeats: int) -> dict:
     record("resource_throughput", bench_resource_throughput(repeats))
     record(
         "page_access_path", bench_page_access_path(repeats), ACCESS_COUNT
+    )
+    record(
+        "page_access_path_faults_idle",
+        bench_page_access_path_faults_idle(repeats),
+        ACCESS_COUNT,
     )
     record("figure2_short_run", bench_figure2_wallclock())
 

@@ -23,6 +23,8 @@ Package layout:
 - :mod:`repro.workload` — multiclass synthetic workloads.
 - :mod:`repro.core` — the goal-oriented partitioning algorithm.
 - :mod:`repro.baselines` — fragment fencing, class fencing, and friends.
+- :mod:`repro.faults` — deterministic fault injection (crashes, message
+  loss, latency spikes, disk slowdowns) for resilience experiments.
 - :mod:`repro.experiments` — the paper's tables and figures.
 """
 

@@ -262,6 +262,16 @@ class NodeBufferManager:
         self.class_heat.clear()
         return dropped
 
+    def reset_interval_counters(self) -> None:
+        """Zero the per-class hit/miss counters (node restart).
+
+        A restarted node's counting state does not survive the crash;
+        consumers tracking deltas (the controller's hit-info plumbing)
+        must re-baseline at zero.
+        """
+        self.hits_by_class.clear()
+        self.misses_by_class.clear()
+
     # -- queries -----------------------------------------------------
 
     def contains(self, page_id: int) -> bool:

@@ -7,6 +7,7 @@ Commands map one-to-one onto the paper's experiments plus a demo run:
 - ``table2``     — convergence vs. skew (§7.3, Table 2)
 - ``multiclass`` — the §7.4 sharing study
 - ``overhead``   — the §7.5 overhead breakdown
+- ``resilience`` — fault injection + feedback-loop recovery metrics
 - ``all``        — everything above in sequence
 - ``demo``       — a short quickstart run printing live progress
 """
@@ -29,7 +30,8 @@ def _cmd_figure2(args) -> None:
     from repro.experiments.figure2 import run_figure2
 
     data = run_figure2(
-        seed=args.seed, intervals=args.intervals, jobs=args.jobs
+        seed=args.seed, intervals=args.intervals, jobs=args.jobs,
+        faults=args.faults,
     )
     if args.chart:
         print(data.to_chart())
@@ -68,6 +70,27 @@ def _cmd_overhead(args) -> None:
     from repro.experiments.overhead import run_overhead
 
     print(run_overhead(seed=args.seed, intervals=args.intervals).to_text())
+
+
+def _cmd_resilience(args) -> None:
+    from repro.experiments.resilience import quick_config, run_resilience
+
+    data = run_resilience(
+        seed=args.seed,
+        intervals=args.intervals,
+        config=quick_config() if args.quick else None,
+        goal_ms=args.goal,
+        faults=args.faults,
+        replications=args.replications,
+        jobs=args.jobs,
+    )
+    if args.chart:
+        print(data.to_chart())
+        print()
+    print(data.to_text())
+    if args.csv:
+        data.save_csv(args.csv)
+        print(f"series written to {args.csv}")
 
 
 def _cmd_scaling(args) -> None:
@@ -155,6 +178,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render as an ASCII chart instead of a table")
     p.add_argument("--csv", metavar="PATH",
                    help="also export the series as CSV")
+    p.add_argument("--faults", metavar="SPEC", default=None,
+                   help="inject a fault schedule (see docs/faults.md)")
     _add_jobs_flag(p)
     p.set_defaults(func=_cmd_figure2)
 
@@ -173,6 +198,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--intervals", type=int, default=40)
     p.set_defaults(func=_cmd_overhead)
+
+    p = sub.add_parser(
+        "resilience", help="fault injection + recovery metrics"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--intervals", type=int, default=90)
+    p.add_argument("--replications", type=int, default=2)
+    p.add_argument("--goal", type=float, default=6.0)
+    p.add_argument("--faults", metavar="SPEC", default=None,
+                   help="fault schedule (default: scaled crash/loss/"
+                        "slowdown mix; see docs/faults.md)")
+    p.add_argument("--quick", action="store_true",
+                   help="scaled-down system for smoke runs")
+    p.add_argument("--chart", action="store_true",
+                   help="also render the recovery chart")
+    p.add_argument("--csv", metavar="PATH",
+                   help="export replicate 0's series as CSV")
+    _add_jobs_flag(p)
+    p.set_defaults(func=_cmd_resilience)
 
     p = sub.add_parser("scaling", help="node-count / complexity scaling")
     p.set_defaults(func=_cmd_scaling)

@@ -11,7 +11,7 @@ remote cache, or the home node's disk.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List
 
 from repro.bufmgr.costs import AccessLevel, CostObserver
 from repro.bufmgr.heat import GlobalHeatRegistry
@@ -52,6 +52,13 @@ class Cluster:
                 MessageKind.HEAT_UPDATE
             )
         )
+        #: Fault state (:class:`repro.faults.FaultLayer`) or None; the
+        #: access path pays one attribute check while this is None.
+        self.faults = None
+        #: Called as ``fn(node_id, now)`` after every node restart, so
+        #: the feedback loop can invalidate state that predates the
+        #: crash (see :meth:`restart_node`).
+        self._restart_listeners: List[Callable[[int, float], None]] = []
         self.nodes: List[Node] = [
             Node(i, self.env, self.config)
             for i in range(self.config.num_nodes)
@@ -73,6 +80,19 @@ class Cluster:
         """Number of workstations in the cluster."""
         return self.config.num_nodes
 
+    # -- fault plumbing -------------------------------------------------
+
+    def attach_faults(self, layer) -> None:
+        """Install a :class:`repro.faults.FaultLayer` on the hot paths."""
+        self.faults = layer
+        self.network.faults = layer
+
+    def add_restart_listener(
+        self, listener: Callable[[int, float], None]
+    ) -> None:
+        """Register ``listener(node_id, now)`` for node restarts."""
+        self._restart_listeners.append(listener)
+
     # -- page access path ---------------------------------------------
 
     def access_page(self, node_id: int, page_id: int, class_id: int):
@@ -85,6 +105,14 @@ class Cluster:
         start = self.env.now
         cpu = self.config.cpu
 
+        faults = self.faults
+        if faults is not None:
+            # A crashed node serves nothing until its restart delay has
+            # elapsed; operations initiated there stall (and their
+            # response times spike — the signal the loop reacts to).
+            delay = faults.down_delay(node_id, start)
+            if delay > 0.0:
+                yield self.env.timeout(delay)
         yield from node.cpu.consume(cpu.instructions_buffer_lookup)
         hit, dropped = node.buffers.probe(page_id, class_id)
         self._unregister(node_id, dropped)
@@ -122,6 +150,12 @@ class Cluster:
 
         home_id = self.database.home(page_id)
         home = self.nodes[home_id]
+        faults = self.faults
+        if faults is not None and home_id != node.node_id:
+            # The home disk is unreachable while its node restarts.
+            delay = faults.down_delay(home_id, self.env.now)
+            if delay > 0.0:
+                yield self.env.timeout(delay)
         if home_id == node.node_id:
             yield from home.disk.read(self.config.page_size)
             yield from node.cpu.consume(cpu.instructions_page_handling)
@@ -167,14 +201,22 @@ class Cluster:
         """Simulate a node restart: its cache content is lost.
 
         All cached pages are dropped (and unregistered from the
-        directory), heat bookkeeping resets, but the disk-resident
-        pages and the allocation table survive.  Returns the number of
-        pages dropped.  Used by resilience experiments: the feedback
-        loop must re-converge after the resulting response time spike.
+        directory), heat bookkeeping and the per-interval hit/miss
+        counters reset, but the disk-resident pages and the allocation
+        table survive.  Returns the number of pages dropped.  Restart
+        listeners (the goal-oriented controller registers one) are
+        notified afterwards so measure points and remembered reports
+        that predate the crash can be invalidated.  Used by resilience
+        experiments: the feedback loop must re-converge after the
+        resulting response time spike.
         """
         node = self.nodes[node_id]
         dropped = node.buffers.clear()
         self._unregister(node_id, dropped)
+        # The restarted node's hit/miss counters restart from zero;
+        # without this, the pre-crash counts would survive and poison
+        # the first post-restart hit-info deltas.
+        node.buffers.reset_interval_counters()
         # Restart semantics: heat state is lost.  Pages whose only
         # cached copy lived on this node go fully cold cluster-wide, so
         # their global-heat bookkeeping is deleted on demand (§6).
@@ -186,6 +228,9 @@ class Cluster:
         for page_id in dropped:
             if not directory.cached_anywhere(page_id):
                 self.global_heat.forget(page_id)
+        now = self.env.now
+        for listener in self._restart_listeners:
+            listener(node_id, now)
         return len(dropped)
 
     def _unregister(self, node_id: int, dropped: List[int]) -> None:

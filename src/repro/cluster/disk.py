@@ -23,10 +23,15 @@ class Disk:
         self.reads = 0
         self.writes = 0
         self.service_stats = OnlineStats()
+        #: Service-time multiplier of an active slowdown episode (set
+        #: and restored by :class:`repro.faults.FaultInjector`).
+        self.fault_factor = 1.0
 
     def read(self, nbytes: int):
         """Generator: perform one read of ``nbytes`` bytes."""
         service = self.params.access_ms(nbytes)
+        if self.fault_factor != 1.0:
+            service *= self.fault_factor
         with self.resource.request() as req:
             yield req
             yield self.env.timeout(service)
@@ -44,6 +49,8 @@ class Disk:
             nbytes / (self.params.transfer_mb_per_s * 1_000_000.0) * 1_000.0
         )
         service = self.params.avg_rotational_ms + transfer
+        if self.fault_factor != 1.0:
+            service *= self.fault_factor
         with self.resource.request() as req:
             yield req
             yield self.env.timeout(service)

@@ -22,10 +22,18 @@ class Network:
         self.params = params
         self.medium = Resource(env, capacity=1)
         self.accounting = TrafficAccounting()
+        #: Fault state (:class:`repro.faults.FaultLayer`), attached by
+        #: the cluster when a fault schedule is configured; None keeps
+        #: the hot path at a single attribute check.
+        self.faults = None
 
     def transfer(self, kind: MessageKind, nbytes: int):
         """Generator: move ``nbytes`` bytes across the network."""
         wire_time = self.params.transfer_ms(nbytes)
+        faults = self.faults
+        if faults is not None and faults.extra_ms > 0.0:
+            # Active latency-spike episode: every transfer pays extra.
+            wire_time += faults.extra_ms
         with self.medium.request() as req:
             yield req
             yield self.env.timeout(wire_time)
@@ -43,6 +51,21 @@ class Network:
         the §7.5 overhead study.
         """
         self.accounting.record(kind, message_size(kind, page_size))
+
+    def send_control(self, kind: MessageKind, page_size: int = 0) -> bool:
+        """Account one fire-and-forget control message; report delivery.
+
+        Like :meth:`account_only` (control traffic never occupies the
+        wire), but the message is subject to the active loss episode of
+        an attached fault layer: the sender's bytes are always counted
+        (the message left the NIC), and ``False`` means the receiver
+        never saw it.  Without a fault layer every message arrives.
+        """
+        self.accounting.record(kind, message_size(kind, page_size))
+        faults = self.faults
+        if faults is not None and faults.should_drop():
+            return False
+        return True
 
     def utilization(self) -> float:
         """Fraction of elapsed time the medium was busy."""

@@ -100,6 +100,15 @@ class GoalOrientedController:
         #: interval is moved from the busiest CPU node to the idlest.
         self.auto_balance = auto_balance
         self.migrations = 0
+        #: Failure-aware loop bookkeeping: agent reports lost on the
+        #: wire, allocation exchanges retried, exchanges that stayed
+        #: unconfirmed after the retry (their conflicts fold into the
+        #: next interval, §5), and node restarts observed.
+        self.reports_dropped = 0
+        self.allocation_retries = 0
+        self.allocation_unconfirmed = 0
+        self.restarts_observed = 0
+        cluster.add_restart_listener(self._on_node_restart)
 
     # -- workload sink ------------------------------------------------
 
@@ -144,6 +153,24 @@ class GoalOrientedController:
     def goal_of(self, class_id: int) -> float:
         """Current goal of ``class_id`` in ms."""
         return self.coordinators[class_id].goal_ms
+
+    # -- failure awareness ----------------------------------------------
+
+    def _on_node_restart(self, node_id: int, now: float) -> None:
+        """Cluster callback: a node restarted (cache and counters lost).
+
+        The restarted node's hit/miss counters restart from zero, so
+        the delta baselines re-anchor there; every coordinator
+        invalidates measure points and remembered reports that predate
+        the crash (stale hyperplane fits are the main re-convergence
+        killer).
+        """
+        self.restarts_observed += 1
+        for key in self._hit_counts:
+            if key[1] == node_id:
+                self._hit_counts[key] = (0, 0)
+        for coordinator in self.coordinators.values():
+            coordinator.on_node_restart(node_id, now)
 
     # -- coordinator placement (§5) -----------------------------------
 
@@ -201,6 +228,11 @@ class GoalOrientedController:
                 reports[key] = agent.snapshot(self.interval_ms, now)
 
             # Phase (b): ship significant reports to the coordinators.
+            # Remote reports ride the (lossy, under faults) control
+            # channel; a dropped report simply never arrives and the
+            # coordinator evaluates with the reports it has — the agent
+            # still considers it sent (it cannot know), so only a
+            # further significant change triggers a resend.
             for (class_id, node_id), report in reports.items():
                 agent = self.agents[(class_id, node_id)]
                 if not agent.significant_change(report):
@@ -209,14 +241,20 @@ class GoalOrientedController:
                 if class_id == NO_GOAL_CLASS:
                     for goal_id, coordinator in self.coordinators.items():
                         if self.coordinator_home[goal_id] != node_id:
-                            network.account_only(MessageKind.AGENT_REPORT)
+                            if not network.send_control(
+                                MessageKind.AGENT_REPORT
+                            ):
+                                self.reports_dropped += 1
+                                continue
                         coordinator.receive_nogoal_report(report)
                 else:
                     coordinator = self.coordinators.get(class_id)
                     if coordinator is None:
                         continue
                     if self.coordinator_home[class_id] != node_id:
-                        network.account_only(MessageKind.AGENT_REPORT)
+                        if not network.send_control(MessageKind.AGENT_REPORT):
+                            self.reports_dropped += 1
+                            continue
                     coordinator.receive_goal_report(report)
 
             # Local hit/miss deltas for estimators that need them
@@ -259,23 +297,72 @@ class GoalOrientedController:
         coordinator: Coordinator,
         decision: CoordinatorDecision,
     ) -> None:
+        """Phase (e): ship the allocation with ack/timeout/one-retry.
+
+        Each remote node whose target changed receives an ALLOCATION
+        and answers with an ALLOCATION_ACK carrying the granted size
+        (which may fall short when another class holds the memory).
+        Under an active loss episode either message can vanish; a
+        missing ack makes the coordinator resend the ALLOCATION once
+        (the node applies idempotently and re-acks).  An exchange that
+        stays unconfirmed is left unresolved: the node keeps whatever
+        it last applied, the coordinator keeps its previous belief, and
+        the discrepancy folds into the next observation interval
+        exactly as §5 prescribes — the next measure point simply
+        describes the system as it actually is.
+        """
         if decision.new_allocation is None:
             return
         requested = [int(b) for b in decision.new_allocation]
         previous = self.cluster.dedicated_bytes(class_id)
-        granted = self.cluster.apply_allocation(class_id, requested)
         home = self.coordinator_home[class_id]
         network = self.cluster.network
-        for node_id, (req, got, old) in enumerate(
-            zip(requested, granted, previous)
-        ):
-            if req != old and node_id != home:
-                network.account_only(MessageKind.ALLOCATION)
-            if got != req and node_id != home:
-                # Phase (e): the local agent could not allocate the full
-                # amount and informs the coordinator of the difference.
-                network.account_only(MessageKind.ALLOCATION_ACK)
-        coordinator.receive_granted(granted)
+        n = self.cluster.num_nodes
+
+        # One exchange per node: decide what actually reaches each
+        # node's local agent, and whether the coordinator hears back.
+        effective = list(previous)
+        confirmed = [True] * n
+        for node_id, (req, old) in enumerate(zip(requested, previous)):
+            if req == old:
+                continue  # nothing to ship, nothing to confirm
+            if node_id == home:
+                effective[node_id] = req  # local, reliable
+                continue
+            applied, acked = self._allocation_exchange(network)
+            if applied:
+                effective[node_id] = req
+            confirmed[node_id] = acked
+            if not acked:
+                self.allocation_unconfirmed += 1
+
+        granted = self.cluster.apply_allocation(class_id, effective)
+
+        # The coordinator's belief: granted sizes where the exchange
+        # completed (or nothing was shipped), its previous belief where
+        # delivery stayed unconfirmed.
+        believed = [
+            got if confirmed[node_id]
+            else float(coordinator.current_allocation[node_id])
+            for node_id, got in enumerate(granted)
+        ]
+        coordinator.receive_granted(believed)
+
+    def _allocation_exchange(self, network) -> Tuple[bool, bool]:
+        """Run one ALLOCATION/ACK exchange; returns (applied, acked)."""
+        if network.send_control(MessageKind.ALLOCATION):
+            if network.send_control(MessageKind.ALLOCATION_ACK):
+                return True, True
+            # Ack lost: the coordinator times out and retries; the node
+            # re-applies idempotently and re-acks.
+            self.allocation_retries += 1
+            if network.send_control(MessageKind.ALLOCATION):
+                return True, network.send_control(MessageKind.ALLOCATION_ACK)
+            return True, False  # first copy applied, never confirmed
+        self.allocation_retries += 1
+        if network.send_control(MessageKind.ALLOCATION):
+            return True, network.send_control(MessageKind.ALLOCATION_ACK)
+        return False, False
 
     def _record(
         self,

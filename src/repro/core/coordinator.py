@@ -128,6 +128,10 @@ class Coordinator:
         self.shrink_damping = shrink_damping
         self.optimizations = 0
         self.lp_solves = 0
+        #: Measure points invalidated by topology events, and how many
+        #: node restarts this coordinator has been told about.
+        self.invalidated_points = 0
+        self.restarts_seen = 0
         #: Append-only trace of every evaluate() outcome (bounded).
         self.decision_log: List[DecisionRecord] = []
         self.decision_log_limit = 512
@@ -179,6 +183,25 @@ class Coordinator:
             raise ValueError("goal must be positive")
         self.goal_ms = goal_ms
         self.tolerance.reset()
+
+    def on_node_restart(self, node_id: int, now: float) -> None:
+        """React to a node crash/restart (topology event).
+
+        Measure points recorded before the event describe a cache state
+        that no longer exists — a hyperplane fitted through them points
+        the LP at a stale response surface, which is the main
+        re-convergence killer.  The window is invalidated, the crashed
+        node's remembered reports and hit info are forgotten, and the
+        tolerance recalibrates; everything rebuilds from post-crash
+        observations, exactly as the §5 feedback story prescribes.
+        """
+        self.invalidated_points += self.window.invalidate_before(now)
+        self.goal_reports.pop(node_id, None)
+        self.nogoal_reports.pop(node_id, None)
+        self.hit_info.pop(node_id, None)
+        self.tolerance.reset()
+        self._settle = 0
+        self.restarts_seen += 1
 
     # -- phases (c) + (d): check and optimize --------------------------------
 
@@ -269,11 +292,20 @@ class Coordinator:
     # -- helpers ---------------------------------------------------------
 
     def _weighted_rt(self, reports: Dict[int, AgentReport]) -> Optional[float]:
-        """Arrival-rate-weighted mean RT over nodes (eq. 4)."""
+        """Arrival-rate-weighted mean RT over nodes (eq. 4).
+
+        Returns None when the retained reports carry no usable signal:
+        no completions anywhere, or completions whose interval saw zero
+        arrivals (an idle class during a fault window).  The zero-rate
+        guard matters: eq. 4 would otherwise degenerate to an observed
+        RT of 0.0 ms and trigger a bogus below-goal repartitioning.
+        """
         with_data = [
             r for r in reports.values() if r.completions > 0
         ]
         if not with_data:
+            return None
+        if not any(r.arrival_rate > 0.0 for r in with_data):
             return None
         return weighted_mean_response_time(
             [r.mean_response_ms for r in with_data],

@@ -120,6 +120,20 @@ class MeasureWindow:
             )
             del self._history[self.history_limit:]
 
+    def invalidate_before(self, time: float) -> int:
+        """Drop every point observed before ``time``; return the count.
+
+        Used after a topology event (node crash/restart): points
+        recorded under the pre-crash cache state no longer describe the
+        system, and a hyperplane fitted through them is the main
+        re-convergence killer.  The next intervals rebuild the window
+        from post-event observations, exactly as the §5 feedback story
+        prescribes.
+        """
+        before = len(self._history)
+        self._history = [p for p in self._history if p.time >= time]
+        return before - len(self._history)
+
     def _fresh_history(self, now: Optional[float]) -> List[MeasurePoint]:
         if self.max_age is None or now is None:
             return self._history

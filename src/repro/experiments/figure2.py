@@ -104,12 +104,15 @@ def run_figure2(
     warmup_ms: float = 20_000.0,
     recorder=None,
     jobs: int = 1,
+    faults=None,
 ) -> Figure2Data:
     """Run the base experiment and return the Figure 2 series.
 
     ``recorder`` (a :class:`~repro.workload.trace.TraceRecorder`)
     captures the generated operation stream; ``jobs`` parallelizes the
     goal-range calibration runs when no ``goal_range`` is given.
+    ``faults`` (a spec string or :class:`~repro.faults.FaultSchedule`)
+    injects the given fault schedule into the run.
     """
     config = config if config is not None else SystemConfig()
     workload = default_workload(
@@ -124,7 +127,7 @@ def run_figure2(
     )
     sim = Simulation(
         config=config, workload=workload, seed=seed, warmup_ms=warmup_ms,
-        recorder=recorder,
+        recorder=recorder, faults=faults,
     )
     rng = sim.cluster.rng.stream("figure2/goals")
     state = {"satisfied_run": 0}

@@ -1,0 +1,387 @@
+"""Resilience under injected faults: recovery of the feedback loop.
+
+The paper's feedback loop (§5) is advertised as self-correcting: every
+observation interval re-measures the system, so any disturbance —
+lost reports, stale allocations, a crashed node with a cold cache —
+is eventually washed out by new measure points.  This experiment makes
+that claim measurable.  A seeded fault schedule (see
+:mod:`repro.faults`) is injected into the base experiment and two
+recovery metrics are computed per fault:
+
+``time-to-goal-reattainment``
+    Observation intervals from the fault until the goal class first
+    re-enters its tolerance band (a satisfied interval with an actual
+    observation).
+
+``goal-violation area``
+    The integral of ``max(0, observed_rt - goal)`` over the recovery
+    window, in ms·s — how *badly* and for how long the goal was missed,
+    not just whether it was.
+
+Replication follows the repository convention: replicate ``i`` runs
+with ``derive_replicate_seed(base, i)`` and replicates are farmed out
+via :func:`~repro.experiments.parallel.run_tasks`, so ``--jobs N`` is
+bit-identical to ``--jobs 1``.
+
+Run standalone::
+
+    python -m repro.experiments.resilience
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster.config import NodeParameters, SystemConfig
+from repro.experiments.parallel import derive_replicate_seed, run_tasks
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import Simulation, default_workload
+
+#: Class id of the goal class in the base workload.
+GOAL_CLASS = 1
+
+
+def quick_config() -> SystemConfig:
+    """A scaled-down system (3 nodes, 400 pages, 256 KB buffers).
+
+    Mirrors the test suite's fast configuration: ~8x smaller than the
+    §7.1 environment with similar cache/database ratios, so recovery
+    behaviour transfers while CI smoke runs stay cheap.
+    """
+    return SystemConfig(
+        num_nodes=3,
+        num_pages=400,
+        node=NodeParameters(buffer_bytes=256 * 1024),
+        observation_interval_ms=2000.0,
+    )
+
+
+def default_fault_spec(
+    intervals: int, interval_ms: float, warmup_ms: float = 0.0
+) -> str:
+    """The default resilience schedule, scaled to the run horizon.
+
+    Two node crashes (at ~25 % and ~70 % of the horizon, so even short
+    smoke runs leave room to re-converge after each), one
+    control-message loss episode and one disk slowdown in between.
+    Fault times are absolute simulation times, hence the warm-up
+    offset.  The second crash targets ``node=any`` to exercise the
+    seeded node draw.
+    """
+    if intervals < 8:
+        raise ValueError("the default schedule needs >= 8 intervals")
+    horizon = intervals * interval_ms
+    restart = interval_ms  # one interval of downtime
+    episode = 3.0 * interval_ms
+
+    def at(fraction: float) -> float:
+        return warmup_ms + fraction * horizon
+
+    return (
+        f"crash@{at(0.25):.0f}:node=0:restart={restart:.0f};"
+        f"netloss@{at(0.45):.0f}:dur={episode:.0f}:p=0.3;"
+        f"diskslow@{at(0.55):.0f}:node=0:dur={episode:.0f}:factor=4;"
+        f"crash@{at(0.70):.0f}:node=any:restart={restart:.0f}"
+    )
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """Recovery metrics of one injected fault."""
+
+    kind: str
+    time_ms: float
+    node: Optional[int]
+    duration_ms: float
+    #: Intervals from the fault to the first satisfied observation,
+    #: or None when the run ended before the goal was reattained.
+    reattained_after: Optional[int]
+    #: Goal-violation area over the recovery window, in ms·s.
+    violation_area: float
+
+
+@dataclass
+class ResilienceReplicate:
+    """One seeded run under the fault schedule."""
+
+    seed: int
+    intervals: List[int] = field(default_factory=list)
+    observed_rt: List[float] = field(default_factory=list)
+    goal: List[float] = field(default_factory=list)
+    satisfied: List[bool] = field(default_factory=list)
+    faults: List[FaultOutcome] = field(default_factory=list)
+    #: Failure-aware loop counters (see GoalOrientedController).
+    reports_dropped: int = 0
+    allocation_retries: int = 0
+    allocation_unconfirmed: int = 0
+    invalidated_points: int = 0
+    #: Whole-run goal-violation area, in ms·s.
+    total_violation_area: float = 0.0
+
+
+@dataclass
+class ResilienceData:
+    """Aggregated resilience results across replicates."""
+
+    fault_spec: str
+    goal_ms: float
+    interval_ms: float
+    replicates: List[ResilienceReplicate] = field(default_factory=list)
+
+    # -- summary metrics ---------------------------------------------
+
+    def crash_outcomes(self) -> List[FaultOutcome]:
+        """All crash outcomes across replicates."""
+        return [
+            f for rep in self.replicates for f in rep.faults
+            if f.kind == "crash"
+        ]
+
+    def all_crashes_reattained(self) -> bool:
+        """True when the goal was reattained after every crash."""
+        crashes = self.crash_outcomes()
+        return bool(crashes) and all(
+            f.reattained_after is not None for f in crashes
+        )
+
+    def mean_reattainment_intervals(self) -> Optional[float]:
+        """Mean time-to-goal-reattainment over recovered crashes."""
+        recovered = [
+            f.reattained_after for f in self.crash_outcomes()
+            if f.reattained_after is not None
+        ]
+        if not recovered:
+            return None
+        return sum(recovered) / len(recovered)
+
+    def mean_violation_area(self) -> float:
+        """Mean whole-run goal-violation area per replicate (ms·s)."""
+        if not self.replicates:
+            return 0.0
+        return sum(
+            rep.total_violation_area for rep in self.replicates
+        ) / len(self.replicates)
+
+    # -- presentation -------------------------------------------------
+
+    def to_text(self) -> str:
+        """Per-fault recovery table plus the summary lines."""
+        rows = []
+        for rep in self.replicates:
+            for f in rep.faults:
+                rows.append([
+                    rep.seed,
+                    f.kind,
+                    f"{f.time_ms:.0f}",
+                    "-" if f.node is None else f.node,
+                    (
+                        f.reattained_after
+                        if f.reattained_after is not None else "never"
+                    ),
+                    f"{f.violation_area:.2f}",
+                ])
+        table = format_table(
+            ["seed", "fault", "time_ms", "node", "reattained_after",
+             "violation_ms_s"],
+            rows,
+            title="Resilience: recovery per injected fault",
+        )
+        mean_re = self.mean_reattainment_intervals()
+        lines = [
+            table,
+            "",
+            f"fault schedule: {self.fault_spec}",
+            f"goal: {self.goal_ms:.2f} ms, interval: "
+            f"{self.interval_ms:.0f} ms, replicates: "
+            f"{len(self.replicates)}",
+            "mean time-to-goal-reattainment: "
+            + ("n/a" if mean_re is None else f"{mean_re:.1f} intervals"),
+            f"mean goal-violation area: "
+            f"{self.mean_violation_area():.2f} ms*s",
+            f"reports dropped: "
+            f"{sum(r.reports_dropped for r in self.replicates)}, "
+            f"allocation retries: "
+            f"{sum(r.allocation_retries for r in self.replicates)}, "
+            f"unconfirmed: "
+            f"{sum(r.allocation_unconfirmed for r in self.replicates)}, "
+            f"measure points invalidated: "
+            f"{sum(r.invalidated_points for r in self.replicates)}",
+            f"all crashes reattained: {self.all_crashes_reattained()}",
+        ]
+        return "\n".join(lines)
+
+    def to_chart(self) -> str:
+        """Replicate 0's RT vs. goal, with the fault times marked."""
+        from repro.experiments.plotting import ascii_chart, overlay_chart
+
+        if not self.replicates:
+            return "(no replicates)"
+        rep = self.replicates[0]
+        top = overlay_chart(
+            rep.observed_rt, rep.goal,
+            label="observed response time (*) vs goal (o), ms "
+                  "[replicate 0]",
+        )
+        excess = [
+            max(0.0, rt - g) for rt, g in zip(rep.observed_rt, rep.goal)
+        ]
+        bottom = ascii_chart(
+            excess, height=8,
+            label="goal violation (observed - goal, ms, clipped at 0)",
+        )
+        marks = ", ".join(
+            f"{f.kind}@{f.time_ms:.0f}ms" for f in rep.faults
+        )
+        return top + "\n\n" + bottom + f"\n\nfaults: {marks}"
+
+    def save_csv(self, path: str) -> None:
+        """Export replicate 0's per-interval series as CSV."""
+        from repro.experiments.plotting import series_to_csv
+
+        if not self.replicates:
+            raise ValueError("no replicates to export")
+        rep = self.replicates[0]
+        series_to_csv(
+            ["interval", "observed_rt_ms", "goal_ms", "satisfied"],
+            [rep.intervals, rep.observed_rt, rep.goal,
+             [int(s) for s in rep.satisfied]],
+            path=path,
+        )
+
+
+def _recovery_metrics(
+    records, injected, interval_ms: float
+) -> List[FaultOutcome]:
+    """Per-fault recovery metrics from the coordinator's decision log.
+
+    The decision log is per-interval aligned (one record per evaluate),
+    so "intervals until reattainment" is a simple record count.  The
+    violation area of a fault integrates from the fault to its
+    reattainment (or the end of the run).
+    """
+    outcomes = []
+    for fault in injected:
+        after = [r for r in records if r.time > fault.time_ms]
+        reattained: Optional[int] = None
+        area = 0.0
+        for i, record in enumerate(after, start=1):
+            if record.observed_rt is not None:
+                area += (
+                    max(0.0, record.observed_rt - record.goal_ms)
+                    * interval_ms / 1000.0
+                )
+                if record.satisfied and reattained is None:
+                    reattained = i
+                    break
+        outcomes.append(
+            FaultOutcome(
+                kind=fault.kind,
+                time_ms=fault.time_ms,
+                node=fault.node,
+                duration_ms=fault.duration_ms,
+                reattained_after=reattained,
+                violation_area=area,
+            )
+        )
+    return outcomes
+
+
+def _resilience_replicate(
+    config: SystemConfig,
+    goal_ms: float,
+    intervals: int,
+    warmup_ms: float,
+    fault_spec: str,
+    arrival_rate_per_node: float,
+    seed: int,
+) -> ResilienceReplicate:
+    """One seeded resilience run (module-level: picklable for jobs>1)."""
+    workload = default_workload(
+        config, goal_ms=goal_ms,
+        arrival_rate_per_node=arrival_rate_per_node,
+    )
+    sim = Simulation(
+        config=config, workload=workload, seed=seed,
+        warmup_ms=warmup_ms, faults=fault_spec,
+    )
+    sim.run(intervals=intervals)
+
+    controller = sim.controller
+    coordinator = controller.coordinators[GOAL_CLASS]
+    records = coordinator.decision_log
+    rep = ResilienceReplicate(seed=seed)
+    total_area = 0.0
+    for i, record in enumerate(records):
+        rep.intervals.append(i + 1)
+        rep.observed_rt.append(
+            record.observed_rt
+            if record.observed_rt is not None else float("nan")
+        )
+        rep.goal.append(record.goal_ms)
+        rep.satisfied.append(record.satisfied)
+        if record.observed_rt is not None:
+            total_area += (
+                max(0.0, record.observed_rt - record.goal_ms)
+                * sim.controller.interval_ms / 1000.0
+            )
+    rep.total_violation_area = total_area
+    rep.faults = _recovery_metrics(
+        records, sim.fault_injector.injected, controller.interval_ms
+    )
+    rep.reports_dropped = controller.reports_dropped
+    rep.allocation_retries = controller.allocation_retries
+    rep.allocation_unconfirmed = controller.allocation_unconfirmed
+    rep.invalidated_points = coordinator.invalidated_points
+    return rep
+
+
+def run_resilience(
+    seed: int = 0,
+    intervals: int = 90,
+    config: Optional[SystemConfig] = None,
+    goal_ms: float = 6.0,
+    faults: Optional[str] = None,
+    replications: int = 2,
+    warmup_ms: float = 10_000.0,
+    arrival_rate_per_node: float = 0.02,
+    jobs: int = 1,
+) -> ResilienceData:
+    """Run the resilience experiment and return the aggregated data.
+
+    ``faults`` is a fault spec string (see :mod:`repro.faults`); when
+    None the :func:`default_fault_spec` scaled to the horizon is used.
+    ``config`` defaults to the full §7.1 environment; pass
+    :func:`quick_config` for smoke runs.  ``jobs`` parallelizes
+    replicates with bit-identical results.
+    """
+    config = config if config is not None else SystemConfig()
+    if faults is None:
+        faults = default_fault_spec(
+            intervals, config.observation_interval_ms, warmup_ms
+        )
+    worker = functools.partial(
+        _resilience_replicate, config, goal_ms, intervals, warmup_ms,
+        faults, arrival_rate_per_node,
+    )
+    seeds = [
+        derive_replicate_seed(seed, i) for i in range(replications)
+    ]
+    replicates = run_tasks(worker, seeds, jobs=jobs)
+    return ResilienceData(
+        fault_spec=faults,
+        goal_ms=goal_ms,
+        interval_ms=config.observation_interval_ms,
+        replicates=replicates,
+    )
+
+
+def main() -> None:
+    """CLI entry point: print the resilience report."""
+    data = run_resilience()
+    print(data.to_text())
+
+
+if __name__ == "__main__":
+    main()

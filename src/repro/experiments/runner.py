@@ -32,6 +32,7 @@ class Simulation:
         controller: Optional[GoalOrientedController] = None,
         warmup_ms: float = 0.0,
         recorder=None,
+        faults=None,
         **controller_kwargs,
     ):
         self.config = config if config is not None else SystemConfig()
@@ -57,6 +58,16 @@ class Simulation:
             self.cluster, workload, sink=controller,
             recorder=recorder, txn_manager=self.txn_manager,
         )
+        #: Fault injector (``faults`` may be a spec string, a
+        #: FaultSchedule, or None).  Without faults nothing is attached
+        #: and the simulation is bit-identical to pre-fault builds.
+        self.fault_injector = None
+        if faults is not None:
+            from repro.faults import FaultInjector, FaultSchedule
+
+            if isinstance(faults, str):
+                faults = FaultSchedule.parse(faults)
+            self.fault_injector = FaultInjector(self.cluster, faults)
         self.warmup_ms = warmup_ms
         self._started = False
         self._controller_t0 = 0.0
@@ -70,6 +81,8 @@ class Simulation:
             return
         self._started = True
         self.generator.start()
+        if self.fault_injector is not None:
+            self.fault_injector.start()
         if self.warmup_ms > 0:
             # Let caches warm before the controller starts reacting.
             self.cluster.env.run(until=self.warmup_ms)

@@ -1,0 +1,31 @@
+"""Deterministic fault injection (`repro.faults`).
+
+The paper's central robustness claim (§5) is that the goal-oriented
+partitioning is a *feedback* method: crashes, lost control messages,
+and workload shifts are tolerated because the next observation interval
+folds their effects into new measure points.  This package provides the
+machinery to put that claim under test:
+
+- :mod:`repro.faults.schedule` — a seeded, fully deterministic fault
+  schedule (its own :class:`~repro.sim.rng.RandomStreams` names, so
+  runs are reproducible and ``--jobs N`` stays bit-identical), parsed
+  from a compact spec grammar;
+- :mod:`repro.faults.injector` — the :class:`FaultLayer` consulted by
+  the cluster/network/disk hot paths (near-zero cost when absent) and
+  the :class:`FaultInjector` process that drives the schedule against a
+  running simulation.
+
+See ``docs/faults.md`` for the fault model and the spec grammar.
+"""
+
+from repro.faults.injector import FaultInjector, FaultLayer, InjectedFault
+from repro.faults.schedule import FaultClause, FaultEvent, FaultSchedule
+
+__all__ = [
+    "FaultClause",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLayer",
+    "FaultSchedule",
+    "InjectedFault",
+]

@@ -8,7 +8,7 @@ from repro.cli import build_parser, main
 def test_parser_knows_all_commands():
     parser = build_parser()
     commands = {"table1", "figure2", "table2", "multiclass",
-                "overhead", "scaling", "all", "demo"}
+                "overhead", "resilience", "scaling", "all", "demo"}
     for command in commands:
         args = parser.parse_args(
             [command] + (["--quick"] if command == "all" else [])
@@ -39,3 +39,39 @@ def test_demo_runs_end_to_end(capsys):
     out = capsys.readouterr().out
     assert out.count("interval") == 3
     assert "dedicated=" in out
+
+
+def test_resilience_defaults():
+    args = build_parser().parse_args(["resilience"])
+    assert args.seed == 0
+    assert args.intervals == 90
+    assert args.replications == 2
+    assert args.faults is None
+    assert not args.quick
+
+
+def test_figure2_accepts_fault_spec():
+    args = build_parser().parse_args(
+        ["figure2", "--faults", "crash@5000:node=0"]
+    )
+    assert args.faults == "crash@5000:node=0"
+
+
+def test_resilience_runs_end_to_end(capsys, tmp_path):
+    csv = tmp_path / "res.csv"
+    main([
+        "resilience", "--quick", "--seed", "0", "--intervals", "16",
+        "--replications", "1", "--csv", str(csv),
+    ])
+    out = capsys.readouterr().out
+    assert "Resilience: recovery per injected fault" in out
+    assert "all crashes reattained:" in out
+    assert csv.exists()
+
+
+def test_resilience_rejects_malformed_fault_spec():
+    with pytest.raises(ValueError):
+        main([
+            "resilience", "--quick", "--intervals", "16",
+            "--replications", "1", "--faults", "explode@1",
+        ])

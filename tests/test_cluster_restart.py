@@ -99,3 +99,38 @@ def test_restart_prunes_global_heat_of_fully_cold_pages(fast_config):
     for page in range(0, 30, 3):
         if not cluster.directory.cached_anywhere(page):
             assert not cluster.global_heat.tracked(page)
+
+
+def test_restart_resets_interval_hit_counters(fast_config):
+    cluster = Cluster(fast_config, seed=0)
+
+    def reader():
+        for page in range(0, 30, 3):
+            yield from cluster.access_page(0, page, 0)
+            yield from cluster.access_page(0, page, 0)  # second: a hit
+
+    cluster.env.process(reader())
+    cluster.env.run()
+    buffers = cluster.nodes[0].buffers
+    assert buffers.hits_by_class.get(0, 0) > 0
+    cluster.restart_node(0)
+    # A restarted node's counting state does not survive: stale counts
+    # would otherwise poison the first post-restart hit-info deltas.
+    assert buffers.hits_by_class == {}
+    assert buffers.misses_by_class == {}
+
+
+def test_restart_notifies_listeners_with_time(fast_config):
+    cluster = Cluster(fast_config, seed=0)
+    seen = []
+    cluster.add_restart_listener(
+        lambda node_id, now: seen.append((node_id, now))
+    )
+
+    def clock():
+        yield cluster.env.timeout(1234.0)
+        cluster.restart_node(2)
+
+    cluster.env.process(clock())
+    cluster.env.run()
+    assert seen == [(2, 1234.0)]

@@ -165,3 +165,30 @@ def test_calibration_jobs2_matches_jobs1(fast_config, tiny_settings):
     serial = calibrate_goal_range(workload, jobs=1, **kwargs)
     parallel = calibrate_goal_range(workload, jobs=2, **kwargs)
     assert parallel == serial
+
+
+# -- end-to-end: resilience replication under faults ------------------
+
+
+def test_resilience_jobs4_matches_jobs1(fast_config):
+    # The fault schedule draws from dedicated seeded streams, so the
+    # bit-identity guarantee must survive fault injection: replicates
+    # run on worker processes yet produce the exact series, fault
+    # ledger, and loop counters of the serial path.
+    from repro.experiments.resilience import run_resilience
+
+    kwargs = dict(
+        seed=0, intervals=24, config=fast_config, replications=3,
+        warmup_ms=6_000.0,
+    )
+    serial = run_resilience(jobs=1, **kwargs)
+    parallel = run_resilience(jobs=4, **kwargs)
+    assert len(parallel.replicates) == 3
+    for a, b in zip(serial.replicates, parallel.replicates):
+        assert a.seed == b.seed
+        assert a.observed_rt == b.observed_rt
+        assert a.satisfied == b.satisfied
+        assert a.faults == b.faults
+        assert a.reports_dropped == b.reports_dropped
+        assert a.allocation_retries == b.allocation_retries
+        assert a.total_violation_area == b.total_violation_area

@@ -1,0 +1,141 @@
+"""Tests for the resilience experiment and its recovery metrics."""
+
+import pytest
+
+from repro.core.coordinator import DecisionRecord
+from repro.experiments.resilience import (
+    _recovery_metrics,
+    default_fault_spec,
+    quick_config,
+    run_resilience,
+)
+from repro.faults import FaultSchedule
+from repro.faults.injector import InjectedFault
+
+
+# -- metric computation (pure) -----------------------------------------
+
+
+def _record(time, rt, goal=5.0, satisfied=False):
+    return DecisionRecord(
+        time=time, observed_rt=rt, goal_ms=goal, satisfied=satisfied,
+        mechanism=None, allocation_total=0.0,
+    )
+
+
+def test_recovery_metrics_counts_intervals_and_area():
+    records = [
+        _record(1000.0, 4.0, satisfied=True),
+        _record(2000.0, 9.0),            # fault hits at 1500
+        _record(3000.0, 7.0),
+        _record(4000.0, 4.5, satisfied=True),
+    ]
+    faults = [InjectedFault("crash", 1500.0, 0, 2000.0)]
+    [outcome] = _recovery_metrics(records, faults, interval_ms=1000.0)
+    assert outcome.reattained_after == 3
+    # (9-5)*1s + (7-5)*1s + 0 = 6 ms*s
+    assert outcome.violation_area == pytest.approx(6.0)
+
+
+def test_recovery_metrics_never_reattained():
+    records = [_record(2000.0, 9.0), _record(3000.0, 8.0)]
+    faults = [InjectedFault("crash", 1500.0, 0, 2000.0)]
+    [outcome] = _recovery_metrics(records, faults, interval_ms=1000.0)
+    assert outcome.reattained_after is None
+    assert outcome.violation_area == pytest.approx(7.0)
+
+
+def test_recovery_metrics_skips_empty_intervals():
+    # Intervals without observations still count toward the
+    # reattainment delay but contribute no violation area.
+    records = [
+        _record(2000.0, None),
+        _record(3000.0, 6.0, satisfied=True),
+    ]
+    faults = [InjectedFault("crash", 1500.0, 0, 2000.0)]
+    [outcome] = _recovery_metrics(records, faults, interval_ms=1000.0)
+    assert outcome.reattained_after == 2
+    assert outcome.violation_area == pytest.approx(1.0)
+
+
+# -- the default schedule ----------------------------------------------
+
+
+def test_default_fault_spec_parses_and_scales():
+    spec = default_fault_spec(40, 2000.0, warmup_ms=10_000.0)
+    schedule = FaultSchedule.parse(spec)
+    kinds = [c.kind for c in schedule.clauses]
+    assert kinds == ["crash", "netloss", "diskslow", "crash"]
+    crash_times = [
+        c.time_ms for c in schedule.clauses if c.kind == "crash"
+    ]
+    assert crash_times == [10_000 + 0.25 * 80_000, 10_000 + 0.70 * 80_000]
+
+
+def test_default_fault_spec_needs_room_to_recover():
+    with pytest.raises(ValueError):
+        default_fault_spec(4, 2000.0)
+
+
+# -- end-to-end --------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return run_resilience(
+        seed=0, intervals=30, config=quick_config(),
+        replications=1, warmup_ms=6_000.0,
+    )
+
+
+def test_resilience_reports_every_scheduled_fault(small_run):
+    [rep] = small_run.replicates
+    assert [f.kind for f in rep.faults] == [
+        "crash", "netloss", "diskslow", "crash",
+    ]
+    assert len(rep.intervals) == 30
+
+
+def test_resilience_feedback_loop_reacted(small_run):
+    [rep] = small_run.replicates
+    assert rep.invalidated_points > 0        # crash invalidated points
+    assert small_run.crash_outcomes()
+
+
+def test_resilience_run_to_run_determinism(small_run):
+    again = run_resilience(
+        seed=0, intervals=30, config=quick_config(),
+        replications=1, warmup_ms=6_000.0,
+    )
+    assert again.fault_spec == small_run.fault_spec
+    assert again.replicates[0].observed_rt == \
+        small_run.replicates[0].observed_rt
+    assert again.replicates[0].faults == small_run.replicates[0].faults
+    assert again.replicates[0].reports_dropped == \
+        small_run.replicates[0].reports_dropped
+
+
+def test_resilience_reattains_after_crashes():
+    # The acceptance bar: with the default schedule the goal class
+    # re-enters its tolerance band after every injected crash.
+    data = run_resilience(
+        seed=0, intervals=40, config=quick_config(), replications=1,
+    )
+    assert data.all_crashes_reattained()
+    for outcome in data.crash_outcomes():
+        assert outcome.reattained_after <= 30
+
+
+def test_resilience_text_and_chart_render(small_run):
+    text = small_run.to_text()
+    assert "all crashes reattained:" in text
+    assert "mean time-to-goal-reattainment" in text
+    assert small_run.to_chart()
+
+
+def test_resilience_csv_export(small_run, tmp_path):
+    path = tmp_path / "resilience.csv"
+    small_run.save_csv(str(path))
+    lines = path.read_text().strip().splitlines()
+    assert lines[0] == "interval,observed_rt_ms,goal_ms,satisfied"
+    assert len(lines) == 31

@@ -1,0 +1,143 @@
+"""Unit tests for the fault spec grammar and deterministic schedules."""
+
+import itertools
+
+import pytest
+
+from repro.faults import FaultSchedule
+from repro.faults.schedule import SCHEDULE_STREAM, _parse_clause
+from repro.sim.rng import RandomStreams
+
+
+# -- grammar ----------------------------------------------------------
+
+
+def test_parse_one_shot_crash_with_defaults():
+    clause = _parse_clause("crash@5000")
+    assert clause.kind == "crash"
+    assert clause.time_ms == 5000.0
+    assert not clause.periodic
+    assert clause.node == "any"
+    assert clause.restart_delay_ms == 2000.0
+
+
+def test_parse_one_shot_with_options():
+    clause = _parse_clause("crash@1000:node=2:restart=500")
+    assert clause.node == 2
+    assert clause.restart_delay_ms == 500.0
+
+
+def test_parse_periodic_clause():
+    clause = _parse_clause("netloss:every=10000:start=4000:p=0.5:dur=2000")
+    assert clause.periodic
+    assert clause.every_ms == 10000.0
+    assert clause.start_ms == 4000.0
+    assert clause.probability == 0.5
+    assert clause.duration_ms == 2000.0
+
+
+def test_parse_netdelay_and_diskslow_defaults():
+    delay = _parse_clause("netdelay@1")
+    assert delay.extra_ms == 1.0
+    assert delay.duration_ms == 5000.0
+    slow = _parse_clause("diskslow@1:factor=8")
+    assert slow.factor == 8.0
+    assert slow.node == "any"
+
+
+def test_parse_spec_splits_on_semicolons():
+    schedule = FaultSchedule.parse(
+        "crash@1000; netloss@2000:p=0.1 ;; diskslow@3000"
+    )
+    assert len(schedule) == 3
+    assert [c.kind for c in schedule.clauses] == [
+        "crash", "netloss", "diskslow",
+    ]
+
+
+@pytest.mark.parametrize("bad", [
+    "explode@1000",              # unknown kind
+    "crash",                     # neither @TIME nor every=
+    "crash@abc",                 # non-numeric time
+    "crash@1000:p=0.5",          # key not allowed for kind
+    "netloss@1000:p=1.5",        # probability out of range
+    "diskslow@1000:factor=0.5",  # slowdown below 1
+    "crash@1000:node=-1",        # negative node
+    "crash@1000:node",           # malformed option
+    "netloss:every=0",           # non-positive period
+])
+def test_parse_rejects_malformed_specs(bad):
+    with pytest.raises(ValueError):
+        FaultSchedule.parse(bad)
+
+
+# -- event generation -------------------------------------------------
+
+
+def test_one_shot_events_in_time_order():
+    schedule = FaultSchedule.parse(
+        "diskslow@9000:node=1;crash@3000:node=0;netloss@6000"
+    )
+    events = list(schedule.events(RandomStreams(0), num_nodes=3))
+    assert [e.kind for e in events] == ["crash", "netloss", "diskslow"]
+    assert [e.time_ms for e in events] == [3000.0, 6000.0, 9000.0]
+
+
+def test_periodic_clause_is_infinite_and_spaced():
+    schedule = FaultSchedule.parse("crash:every=5000:node=0:restart=1")
+    events = schedule.events(RandomStreams(0), num_nodes=3)
+    first_four = list(itertools.islice(events, 4))
+    assert [e.time_ms for e in first_four] == [
+        5000.0, 10000.0, 15000.0, 20000.0,
+    ]
+
+
+def test_same_seed_same_events():
+    spec = "crash:every=7000:jitter=2000;netloss@10000;diskslow:every=9000"
+    a = list(itertools.islice(
+        FaultSchedule.parse(spec).events(RandomStreams(42), 4), 20
+    ))
+    b = list(itertools.islice(
+        FaultSchedule.parse(spec).events(RandomStreams(42), 4), 20
+    ))
+    assert a == b
+
+
+def test_different_seed_changes_node_draws():
+    spec = "crash:every=1000:node=any:restart=1"
+    nodes = [
+        tuple(
+            e.node for e in itertools.islice(
+                FaultSchedule.parse(spec).events(RandomStreams(s), 8), 16
+            )
+        )
+        for s in range(6)
+    ]
+    assert len(set(nodes)) > 1
+
+
+def test_node_any_resolved_within_cluster():
+    spec = "crash:every=1000:node=any:restart=1"
+    for event in itertools.islice(
+        FaultSchedule.parse(spec).events(RandomStreams(7), 3), 32
+    ):
+        assert 0 <= event.node < 3
+
+
+def test_explicit_node_out_of_range_rejected_at_resolution():
+    schedule = FaultSchedule.parse("crash@1000:node=5")
+    with pytest.raises(ValueError):
+        list(schedule.events(RandomStreams(0), num_nodes=3))
+
+
+def test_schedule_uses_dedicated_stream():
+    # Resolving a schedule must never touch workload streams: all
+    # randomness comes from the faults/schedule stream.
+    rng = RandomStreams(3)
+    arrivals = rng.stream("arrivals/0")
+    before = arrivals.getstate()
+    list(itertools.islice(
+        FaultSchedule.parse("crash:every=100:jitter=50").events(rng, 3), 10
+    ))
+    assert arrivals.getstate() == before
+    assert SCHEDULE_STREAM in rng._streams
