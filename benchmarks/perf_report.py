@@ -3,15 +3,20 @@
 Times the same workloads as :mod:`benchmarks.test_kernel_microbench`
 with a plain ``time.perf_counter`` harness (no pytest needed) plus a
 small fixed figure-2 run, and writes ``BENCH_substrate.json`` at the
-repository root.
+repository root.  ``--scaling`` instead runs the cluster-scaling bench
+(page-access cost vs. node count and database size, plus the heat
+bookkeeping memory footprint) and writes ``BENCH_scaling.json``.
 
 The ``BASELINE_SECONDS`` constants are the best-of-5 times of the same
 workloads measured on the pre-optimization substrate (commit
 ``db4fa24``, CPython 3.11, single core) on the same machine that
 produced the committed report — they are the reference the recorded
-``speedup`` figures are relative to.  Re-run this script after kernel
-changes and compare against your own machine's committed numbers, not
-across machines.
+``speedup`` figures are relative to.  The ``SCALING_BASELINE``
+constants follow the same convention against the pre-change tree
+(commit ``93909c8``), measured interleaved with the optimized tree
+(best of 6 alternating subprocess runs) so machine noise hits both
+sides equally.  Re-run this script after kernel changes and compare
+against your own machine's committed numbers, not across machines.
 """
 
 from __future__ import annotations
@@ -33,6 +38,9 @@ from repro.sim.engine import Environment  # noqa: E402
 from repro.sim.resources import Resource  # noqa: E402
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+SCALING_REPORT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
+)
 
 #: Pre-change reference times (seconds, best of 5) for this machine.
 BASELINE_SECONDS = {
@@ -42,6 +50,24 @@ BASELINE_SECONDS = {
 
 EVENT_COUNT = 10_000
 ACCESS_COUNT = 2_000
+
+#: Pre-change (commit ``93909c8``) scaling references for this machine:
+#: seconds (best of 6, interleaved with the optimized tree) for the
+#: access benches, peak tracemalloc bytes for the heat-memory bench.
+SCALING_BASELINE = {
+    "hot_access_8_nodes": 0.5295,
+    "hot_access_16_nodes": 0.5382,
+    "hot_access_32_nodes": 0.5184,
+    "hot_access_64_nodes": 0.6903,
+    "mixed_access_32n_2000_pages": 0.4113,
+    "mixed_access_32n_8000_pages": 0.6072,
+    "mixed_access_32n_32000_pages": 1.3330,
+    "heat_memory_200k_pages": 341_850_185,
+}
+
+HOT_ACCESS_COUNT = 30_000   # hit-dominated accesses per hot bench run
+MIXED_ACCESS_COUNT = 20_000  # accesses per database-size bench run
+HEAT_PAGE_COUNT = 200_000   # pages tracked by the heat-memory bench
 
 
 def best_of(setup, run, repeats: int) -> float:
@@ -167,6 +193,137 @@ def bench_figure2_wallclock() -> float:
     return time.perf_counter() - start
 
 
+def bench_hot_access(num_nodes: int, repeats: int) -> float:
+    """Hit-dominated page accesses on a ``num_nodes``-node cluster.
+
+    2 MB buffers over a 4000-page database keep most accesses local
+    once warm, so this isolates the per-access bookkeeping (heat,
+    benefit repricing, directory) from disk and network service times.
+    """
+    from repro.cluster.config import NodeParameters
+
+    pages = 4_000
+    n = HOT_ACCESS_COUNT
+
+    def setup():
+        return Cluster(
+            SystemConfig(
+                num_nodes=num_nodes,
+                num_pages=pages,
+                node=NodeParameters(buffer_bytes=2 * 1024 * 1024),
+            ),
+            seed=0,
+        )
+
+    def run(cluster):
+        def proc():
+            for i in range(n):
+                node = i % num_nodes
+                yield from cluster.access_page(
+                    node, (node * 117 + i * 13) % pages, class_id=0
+                )
+
+        cluster.env.process(proc())
+        cluster.env.run()
+
+    return best_of(setup, run, repeats)
+
+
+def bench_mixed_access(num_pages: int, repeats: int) -> float:
+    """Default-size buffers over a ``num_pages``-page database (32 nodes).
+
+    Grows the database at fixed cache size, so the miss rate — and
+    with it eviction/repricing and directory churn — rises with
+    ``num_pages``.
+    """
+    n = MIXED_ACCESS_COUNT
+    nodes = 32
+
+    def setup():
+        return Cluster(
+            SystemConfig(num_nodes=nodes, num_pages=num_pages), seed=0
+        )
+
+    def run(cluster):
+        def proc():
+            for i in range(n):
+                yield from cluster.access_page(
+                    i % nodes, (i * 7) % num_pages, class_id=0
+                )
+
+        cluster.env.process(proc())
+        cluster.env.run()
+
+    return best_of(setup, run, repeats)
+
+
+def bench_heat_memory() -> int:
+    """Peak bytes to heat-track 200k pages (two accesses each, k=2).
+
+    One local tracker plus the global registry, the per-node pairing
+    every big-database simulation carries.  Deterministic, so no
+    repeats: allocation sizes do not vary between runs.
+    """
+    import tracemalloc
+
+    from repro.bufmgr.heat import GlobalHeatRegistry, HeatTracker
+
+    tracemalloc.start()
+    tracker = HeatTracker(k=2)
+    registry = GlobalHeatRegistry(k=2)
+    for page in range(HEAT_PAGE_COUNT):
+        tracker.record(page, 1.0)
+        tracker.record(page, 2.0)
+        registry.record(page, 1.0)
+        registry.record(page, 2.0)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def build_scaling_report(repeats: int) -> dict:
+    benchmarks = {}
+
+    def record(name, seconds, accesses):
+        entry = {
+            "seconds": round(seconds, 6),
+            "us_per_access": round(seconds / accesses * 1e6, 2),
+        }
+        baseline = SCALING_BASELINE.get(name)
+        if baseline is not None:
+            entry["baseline_seconds"] = baseline
+            entry["speedup"] = round(baseline / seconds, 2)
+        benchmarks[name] = entry
+
+    for nodes in (8, 16, 32, 64):
+        record(
+            f"hot_access_{nodes}_nodes",
+            bench_hot_access(nodes, repeats),
+            HOT_ACCESS_COUNT,
+        )
+    for pages in (2_000, 8_000, 32_000):
+        record(
+            f"mixed_access_32n_{pages}_pages",
+            bench_mixed_access(pages, repeats),
+            MIXED_ACCESS_COUNT,
+        )
+
+    peak = bench_heat_memory()
+    baseline_peak = SCALING_BASELINE["heat_memory_200k_pages"]
+    benchmarks["heat_memory_200k_pages"] = {
+        "peak_bytes": peak,
+        "baseline_peak_bytes": baseline_peak,
+        "reduction": round(1.0 - peak / baseline_peak, 3),
+    }
+
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "benchmarks": benchmarks,
+    }
+
+
 def build_report(repeats: int) -> dict:
     benchmarks = {}
 
@@ -206,17 +363,30 @@ def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--repeats", type=int, default=20,
-        help="best-of repeats per microbenchmark (default 20)",
+        help="best-of repeats per microbenchmark (default 20; "
+             "the scaling report defaults to 6)",
     )
     parser.add_argument(
-        "--out", type=Path, default=REPORT_PATH,
-        help=f"output path (default {REPORT_PATH})",
+        "--scaling", action="store_true",
+        help="run the cluster-scaling bench instead of the substrate "
+             f"microbenchmarks (writes {SCALING_REPORT_PATH.name})",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help=f"output path (default {REPORT_PATH.name}, or "
+             f"{SCALING_REPORT_PATH.name} with --scaling)",
     )
     args = parser.parse_args(argv)
-    report = build_report(args.repeats)
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    if args.scaling:
+        repeats = args.repeats if args.repeats != 20 else 6
+        report = build_scaling_report(repeats)
+        out = args.out if args.out is not None else SCALING_REPORT_PATH
+    else:
+        report = build_report(args.repeats)
+        out = args.out if args.out is not None else REPORT_PATH
+    out.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
-    print(f"\nreport written to {args.out}")
+    print(f"\nreport written to {out}")
 
 
 if __name__ == "__main__":

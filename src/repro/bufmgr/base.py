@@ -19,6 +19,8 @@ class BufferPool(ABC):
     #: Human-readable policy name, overridden by subclasses.
     policy = "abstract"
 
+    __slots__ = ("_capacity", "hits", "misses")
+
     def __init__(self, capacity: int):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")

@@ -20,6 +20,8 @@ class ClockPool(BufferPool):
 
     policy = "clock"
 
+    __slots__ = ("_pages",)
+
     def __init__(self, capacity: int):
         super().__init__(capacity)
         #: page id -> reference bit; insertion order is the ring order.

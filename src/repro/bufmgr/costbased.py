@@ -21,19 +21,24 @@ import heapq
 from typing import Callable, Dict, Iterable
 
 from repro.bufmgr.base import BufferPool
-from repro.bufmgr.costs import AccessLevel, CostObserver
+from repro.bufmgr.costs import CostObserver
 from repro.bufmgr.heat import GlobalHeatRegistry, HeatTracker
 
 
 class BenefitModel:
     """Everything needed to price a cached page on one node.
 
-    The three :class:`CostObserver` levels are cached against the
-    observer's ``version`` counter: they change only when a finished
-    request reports a new measurement, while ``benefit`` runs on every
-    heap push and eviction candidate — so the cache turns three
-    enum-keyed stat lookups per pricing into one integer comparison.
+    The two cost spreads are cached against the observer's ``version``
+    counter: they change only when a finished request reports a new
+    measurement, while ``benefit`` runs on every insert, touch, and
+    eviction candidate — and the refresh itself reads the observer's
+    plain per-level mean slots, so a version miss costs two
+    subtractions instead of three enum-keyed stat lookups.
     """
+
+    __slots__ = ("node_id", "local_heat", "global_heat", "costs",
+                 "_is_last_copy", "clock", "_cost_version",
+                 "_keep_spread", "_last_copy_spread")
 
     def __init__(
         self,
@@ -57,11 +62,10 @@ class BenefitModel:
     def _refresh_costs(self) -> None:
         costs = self.costs
         self._cost_version = costs.version
-        cost_local = costs.cost(AccessLevel.LOCAL)
-        cost_remote = costs.cost(AccessLevel.REMOTE)
-        cost_disk = costs.cost(AccessLevel.DISK)
-        self._keep_spread = max(cost_remote - cost_local, 0.0)
-        self._last_copy_spread = max(cost_disk - cost_remote, 0.0)
+        keep = costs.cost_remote - costs.cost_local
+        last_copy = costs.cost_disk - costs.cost_remote
+        self._keep_spread = keep if keep > 0.0 else 0.0
+        self._last_copy_spread = last_copy if last_copy > 0.0 else 0.0
 
     def benefit(self, page_id: int) -> float:
         """Expected cost saved per time unit by keeping ``page_id``."""
@@ -81,15 +85,33 @@ class CostBasedPool(BufferPool):
 
     Mirrors the paper's implementation, which keeps pages in a priority
     queue ordered by benefit.  Benefits drift as heat and measured
-    costs change, so the queue holds *estimates*: every insert and
-    touch pushes a fresh entry (stale entries are skipped lazily), and
-    at eviction time the ``revalidate`` lowest candidates are re-priced
-    and the cheapest fresh one is evicted.  This bounds the per-eviction
-    work to O(revalidate · log n) instead of a full O(n) re-scan while
-    staying very close to the exact minimum.
+    costs change, so the queue holds *estimates*; at eviction time the
+    ``revalidate`` lowest candidates are re-priced and the cheapest
+    fresh one is evicted.  This bounds the per-eviction work to
+    O(revalidate · log n) instead of a full O(n) re-scan while staying
+    very close to the exact minimum.
+
+    Hits are O(1) in the common case: ``touch`` refreshes the page's
+    price in a flat dict instead of unconditionally pushing a freshly
+    priced heap entry per hit.  When the estimate grew (the usual
+    outcome — fresher heat), the existing heap entry sits at a price
+    below the new estimate, so the page still surfaces no later than
+    it should; ``_pop_valid`` re-syncs such drifted entries lazily at
+    the next eviction.  Only a *shrinking* estimate needs an immediate
+    push, because a stale higher-priced entry would otherwise hide the
+    page from eviction.  Any run of price-raising hits between
+    evictions thus costs at most one deferred heap operation, and the
+    heap stays near one live entry per page instead of one per hit —
+    while the estimates that drive victim selection are the exact
+    touch-time prices the eager scheme maintained, so replacement
+    decisions are unchanged (up to ties between float-identical
+    benefits, where only the insertion-order tie-break can differ).
     """
 
     policy = "cost-based"
+
+    __slots__ = ("model", "revalidate", "_pages", "_heap", "_seq",
+                 "_price")
 
     def __init__(self, capacity: int, model: BenefitModel,
                  revalidate: int = 8):
@@ -101,20 +123,44 @@ class CostBasedPool(BufferPool):
         self._pages: Dict[int, int] = {}  # page id -> newest entry seq
         self._heap: list = []             # (benefit, seq, page id)
         self._seq = 0
+        self._price: Dict[int, float] = {}  # page id -> latest estimate
 
     def _push(self, page_id: int) -> None:
+        benefit = self.model.benefit(page_id)
+        self._price[page_id] = benefit
         self._seq += 1
         self._pages[page_id] = self._seq
-        heapq.heappush(
-            self._heap, (self.model.benefit(page_id), self._seq, page_id)
-        )
+        heapq.heappush(self._heap, (benefit, self._seq, page_id))
+
+    def _push_priced(self, page_id: int, benefit: float) -> None:
+        self._price[page_id] = benefit
+        self._seq += 1
+        self._pages[page_id] = self._seq
+        heapq.heappush(self._heap, (benefit, self._seq, page_id))
 
     def _pop_valid(self):
-        """Pop heap entries until one matches a live page's newest entry."""
-        while self._heap:
-            benefit, seq, page_id = heapq.heappop(self._heap)
-            if self._pages.get(page_id) == seq:
-                return benefit, page_id
+        """Pop entries until one carries a live page's current estimate.
+
+        Stale entries (superseded seq) are dropped; live entries whose
+        stored price drifted from the page's ``_price`` estimate (the
+        page was touched since the entry was pushed) are re-synced at
+        the current estimate and the scan continues, so candidates
+        always surface in up-to-date estimate order.  Returns
+        ``(estimate, page_id)``.
+        """
+        heap = self._heap
+        pages = self._pages
+        price = self._price
+        while heap:
+            entry = heapq.heappop(heap)
+            page_id = entry[2]
+            if pages.get(page_id) != entry[1]:
+                continue
+            current = price[page_id]
+            if current != entry[0]:
+                self._push_priced(page_id, current)
+                continue
+            return current, page_id
         raise KeyError("pool is empty")
 
     def _select_victim(self) -> int:
@@ -132,19 +178,12 @@ class CostBasedPool(BufferPool):
             candidates.append((benefit(page_id), page_id))
         best = min(candidates)
         victim = best[1]
-        heap = self._heap
-        push = heapq.heappush
         for entry in candidates:
-            if entry[1] == victim:
-                continue
-            self._seq += 1
-            self._pages[entry[1]] = self._seq
-            push(heap, (entry[0], self._seq, entry[1]))
+            if entry[1] != victim:
+                self._push_priced(entry[1], entry[0])
         # The victim stays indexed until _discard removes it; restore
         # its entry so state is consistent even if the caller keeps it.
-        self._seq += 1
-        self._pages[victim] = self._seq
-        push(heap, (best[0], self._seq, victim))
+        self._push_priced(victim, best[0])
         return victim
 
     def _store(self, page_id: int) -> None:
@@ -152,6 +191,7 @@ class CostBasedPool(BufferPool):
 
     def _discard(self, page_id: int) -> None:
         del self._pages[page_id]
+        del self._price[page_id]
         if len(self._heap) > 4 * max(len(self._pages), 16):
             self._compact()
 
@@ -163,8 +203,21 @@ class CostBasedPool(BufferPool):
         heapq.heapify(self._heap)
 
     def touch(self, page_id: int) -> None:
-        # Refresh the page's benefit estimate in the queue.
-        self._push(page_id)
+        price = self._price
+        benefit = self.model.benefit(page_id)
+        if benefit < price[page_id]:
+            # A shrinking estimate (cost spreads drifted down, or the
+            # last-copy bonus vanished because another node cached the
+            # page) must enter the heap immediately: behind its stale
+            # higher-priced entry the page would never surface as an
+            # eviction candidate.
+            self._push_priced(page_id, benefit)
+        else:
+            # The common case — the estimate grew (fresher heat).  The
+            # existing entry sits at a price <= the new estimate, so it
+            # still surfaces no later than it should; _pop_valid
+            # re-syncs it at the next eviction.  No heap op per hit.
+            price[page_id] = benefit
 
     def __contains__(self, page_id: int) -> bool:
         return page_id in self._pages

@@ -10,7 +10,6 @@ finished requests.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict
 
 from repro.sim.stats import OnlineStats
 
@@ -33,7 +32,16 @@ class CostObserver:
     Starts from physically motivated defaults so benefit computations
     are sane before the first measurements arrive, then converges to
     the observed means.
+
+    ``observe`` runs once per finished page access and the current
+    means are read on every benefit pricing, so the three levels live
+    in plain slots (``cost_local`` / ``cost_remote`` / ``cost_disk``)
+    selected by identity checks — no enum-keyed dict lookups (and no
+    enum ``__hash__`` calls) on the hot path.
     """
+
+    __slots__ = ("_local", "_remote", "_disk", "version",
+                 "cost_local", "cost_remote", "cost_disk")
 
     #: Initial estimates in milliseconds (local ~ CPU only, remote ~
     #: one round trip + page wire time, disk ~ seek + rotation +
@@ -45,28 +53,57 @@ class CostObserver:
     }
 
     def __init__(self):
-        self._stats: Dict[AccessLevel, OnlineStats] = {
-            level: OnlineStats() for level in AccessLevel
-        }
+        self._local = OnlineStats()
+        self._remote = OnlineStats()
+        self._disk = OnlineStats()
         #: Bumped on every observation; consumers (e.g.
         #: :class:`~repro.bufmgr.costbased.BenefitModel`) cache the
         #: per-level means and invalidate when the version moves.
         self.version = 0
+        #: Current mean estimate per level (default until measured).
+        self.cost_local = self.DEFAULTS[AccessLevel.LOCAL]
+        self.cost_remote = self.DEFAULTS[AccessLevel.REMOTE]
+        self.cost_disk = self.DEFAULTS[AccessLevel.DISK]
+
+    def _stats_for(self, level: AccessLevel) -> OnlineStats:
+        if level is AccessLevel.LOCAL:
+            return self._local
+        if level is AccessLevel.REMOTE:
+            return self._remote
+        if level is AccessLevel.DISK:
+            return self._disk
+        raise KeyError(level)
 
     def observe(self, level: AccessLevel, elapsed_ms: float) -> None:
         """Fold one finished request's elapsed time into the estimate."""
         if elapsed_ms < 0:
             raise ValueError("elapsed time must be non-negative")
-        self._stats[level].add(elapsed_ms)
+        if level is AccessLevel.LOCAL:
+            stats = self._local
+            stats.add(elapsed_ms)
+            self.cost_local = stats._mean
+        elif level is AccessLevel.REMOTE:
+            stats = self._remote
+            stats.add(elapsed_ms)
+            self.cost_remote = stats._mean
+        elif level is AccessLevel.DISK:
+            stats = self._disk
+            stats.add(elapsed_ms)
+            self.cost_disk = stats._mean
+        else:
+            raise KeyError(level)
         self.version += 1
 
     def cost(self, level: AccessLevel) -> float:
         """Current mean cost estimate for ``level`` in milliseconds."""
-        stats = self._stats[level]
-        if stats.count == 0:
-            return self.DEFAULTS[level]
-        return stats.mean
+        if level is AccessLevel.LOCAL:
+            return self.cost_local
+        if level is AccessLevel.REMOTE:
+            return self.cost_remote
+        if level is AccessLevel.DISK:
+            return self.cost_disk
+        raise KeyError(level)
 
     def observations(self, level: AccessLevel) -> int:
         """How many measurements back the estimate for ``level``."""
-        return self._stats[level].count
+        return self._stats_for(level).count

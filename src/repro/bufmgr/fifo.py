@@ -20,6 +20,8 @@ class FifoPool(BufferPool):
 
     policy = "fifo"
 
+    __slots__ = ("_pages",)
+
     def __init__(self, capacity: int):
         super().__init__(capacity)
         self._pages: "OrderedDict[int, None]" = OrderedDict()

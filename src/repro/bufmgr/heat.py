@@ -9,12 +9,22 @@ K-th most recent access.
 Bookkeeping is created and deleted on demand: a (class, page) entry
 only exists once an operation of that class touched the page, exactly
 as §6 prescribes to bound the overhead.
+
+The default ``k = 2`` — what every pool in the system uses — is
+specialized: access histories are plain ``(t_prev, t_last)`` tuples in
+one flat dict instead of a per-key ``deque``.  A ``deque`` costs one
+~600-byte heap object per tracked key plus an extra indirection on
+every ``heat()`` call; the tuple layout cuts the per-key footprint by
+roughly an order of magnitude on large databases without changing a
+single computed heat value (``len(h) / (now - h[0])`` is the same
+arithmetic either way).  General ``k`` keeps the deque path via the
+``_DequeHeatTracker`` fallback, chosen transparently in ``__new__``.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Hashable, Optional
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 
 class HeatTracker:
@@ -22,26 +32,38 @@ class HeatTracker:
 
     Keys are arbitrary hashables — a page id for accumulated heat, a
     ``(class_id, page_id)`` pair for class-specific heat.
+
+    Instantiating with the default ``k=2`` yields the tuple-specialized
+    tracker; any other ``k`` transparently constructs the deque-backed
+    :class:`_DequeHeatTracker` fallback.
     """
+
+    __slots__ = ("k", "_history")
+
+    def __new__(cls, k: int = 2):
+        if cls is HeatTracker and k != 2:
+            return object.__new__(_DequeHeatTracker)
+        return object.__new__(cls)
 
     def __init__(self, k: int = 2):
         if k < 1:
             raise ValueError("k must be >= 1")
         self.k = k
-        self._history: Dict[Hashable, Deque[float]] = {}
+        self._history: Dict[Hashable, Tuple[float, ...]] = {}
 
     def record(self, key: Hashable, now: float) -> None:
         """Register one access to ``key`` at time ``now``."""
-        history = self._history.get(key)
-        if history is None:
-            history = deque(maxlen=self.k)
-            self._history[key] = history
-        history.append(now)
+        history = self._history
+        prev = history.get(key)
+        if prev is None:
+            history[key] = (now,)
+        else:
+            history[key] = (prev[-1], now)
 
     def heat(self, key: Hashable, now: float) -> float:
         """Estimated accesses per time unit for ``key`` (0.0 if unknown)."""
         history = self._history.get(key)
-        if not history:
+        if history is None:
             return 0.0
         span = now - history[0]
         if span <= 0.0:
@@ -65,6 +87,25 @@ class HeatTracker:
         return len(self._history)
 
 
+class _DequeHeatTracker(HeatTracker):
+    """General-``k`` fallback keeping the last K access times per key.
+
+    Shares every query method with :class:`HeatTracker` — a deque
+    supports ``len`` and ``[0]`` just like the tuple pairs — and only
+    ``record`` differs.
+    """
+
+    __slots__ = ()
+
+    def record(self, key: Hashable, now: float) -> None:
+        """Register one access to ``key`` at time ``now``."""
+        history = self._history.get(key)
+        if history is None:
+            history = deque(maxlen=self.k)
+            self._history[key] = history
+        history.append(now)
+
+
 class GlobalHeatRegistry:
     """Cluster-wide heat, shared by all nodes' cost-based pools.
 
@@ -74,6 +115,8 @@ class GlobalHeatRegistry:
     wires this to HEAT_UPDATE message accounting), so the §7.5 traffic
     accounting reflects the dissemination cost.
     """
+
+    __slots__ = ("_tracker", "_on_update", "_threshold", "_pending")
 
     def __init__(self, k: int = 2,
                  on_update: Optional[Callable[[], None]] = None,
@@ -86,15 +129,16 @@ class GlobalHeatRegistry:
     def record(self, page_id: int, now: float) -> None:
         """Register one access to ``page_id`` anywhere in the cluster."""
         self._tracker.record(page_id, now)
-        pending = self._pending.get(page_id, 0) + 1
-        if pending >= self._threshold:
+        pending = self._pending
+        count = pending.get(page_id, 0) + 1
+        if count >= self._threshold:
             # Drop the key instead of storing 0 so ``_pending`` only
             # holds pages part-way to their next dissemination.
-            self._pending.pop(page_id, None)
+            pending.pop(page_id, None)
             if self._on_update is not None:
                 self._on_update()
         else:
-            self._pending[page_id] = pending
+            pending[page_id] = count
 
     def heat(self, page_id: int, now: float) -> float:
         """Cluster-wide access rate estimate for ``page_id``."""

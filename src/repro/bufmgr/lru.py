@@ -13,6 +13,8 @@ class LruPool(BufferPool):
 
     policy = "lru"
 
+    __slots__ = ("_pages",)
+
     def __init__(self, capacity: int):
         super().__init__(capacity)
         self._pages: "OrderedDict[int, None]" = OrderedDict()

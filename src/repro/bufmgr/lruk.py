@@ -10,7 +10,7 @@ algorithm.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Iterable
+from typing import Callable, Deque, Dict, Iterable, Optional
 
 from repro.bufmgr.base import BufferPool
 
@@ -20,8 +20,10 @@ class LrukPool(BufferPool):
 
     policy = "lru-k"
 
+    __slots__ = ("k", "_clock", "_history")
+
     def __init__(self, capacity: int, k: int = 2,
-                 clock: Callable[[], float] = None):
+                 clock: Optional[Callable[[], float]] = None):
         if k < 1:
             raise ValueError("k must be >= 1")
         super().__init__(capacity)
@@ -70,7 +72,9 @@ class LrukPool(BufferPool):
     def page_ids(self) -> Iterable[int]:
         return iter(self._history)
 
-    def backward_k_distance(self, page_id: int, now: float = None) -> float:
+    def backward_k_distance(
+        self, page_id: int, now: Optional[float] = None
+    ) -> float:
         """Backward K-distance of a cached page (inf if < K references)."""
         history = self._history[page_id]
         if len(history) < self.k:

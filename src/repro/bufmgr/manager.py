@@ -40,6 +40,8 @@ NO_GOAL_CLASS = 0
 class _ClassHeatView:
     """Adapter exposing one class's slice of the class-heat tracker."""
 
+    __slots__ = ("_tracker", "_class_id")
+
     def __init__(self, tracker: HeatTracker, class_id: int):
         self._tracker = tracker
         self._class_id = class_id
@@ -201,24 +203,28 @@ class NodeBufferManager:
         self.accumulated_heat.record(page_id, now)
         self.global_heat.record(page_id, now)
 
-        dropped: List[int] = []
+        pools = self._pools
         holder = self._where.get(page_id)
 
-        if self.has_dedicated(class_id):
+        # Dedicated-pool protocol only when some dedicated pool exists
+        # at all (len > 1 counts the always-present no-goal pool), which
+        # skips two dict probes per access in policy-only runs.
+        if len(pools) > 1 and self.has_dedicated(class_id):
+            dropped: List[int] = []
             if holder == class_id:
-                self._pools[class_id].touch(page_id)
+                pools[class_id].touch(page_id)
                 self.class_heat.record((class_id, page_id), now)
                 self._account(class_id, hit=True)
                 return True, dropped
             if holder is not None and holder != NO_GOAL_CLASS:
                 # Cached in another class's dedicated buffer: local hit,
                 # page stays where it is (§6).
-                self._pools[holder].touch(page_id)
+                pools[holder].touch(page_id)
                 self._account(class_id, hit=True)
                 return True, dropped
             if holder == NO_GOAL_CLASS:
                 # Acquire from the local no-goal buffer.
-                self._pools[NO_GOAL_CLASS].remove(page_id)
+                pools[NO_GOAL_CLASS].remove(page_id)
                 del self._where[page_id]
                 dropped.extend(self._insert(class_id, page_id))
                 self.class_heat.record((class_id, page_id), now)
@@ -228,11 +234,13 @@ class NodeBufferManager:
             return False, dropped
 
         if holder is not None:
-            self._pools[holder].touch(page_id)
-            self._account(class_id, hit=True)
-            return True, dropped
-        self._account(class_id, hit=False)
-        return False, dropped
+            pools[holder].touch(page_id)
+            hits = self.hits_by_class
+            hits[class_id] = hits.get(class_id, 0) + 1
+            return True, []
+        misses = self.misses_by_class
+        misses[class_id] = misses.get(class_id, 0) + 1
+        return False, []
 
     def admit(self, page_id: int, class_id: int) -> List[int]:
         """Insert a freshly fetched page per §6; returns dropped pages."""

@@ -21,6 +21,8 @@ class TwoQPool(BufferPool):
 
     policy = "2q"
 
+    __slots__ = ("_kin", "_kout", "_a1in", "_am", "_a1out")
+
     def __init__(self, capacity: int, in_fraction: float = 0.25,
                  out_fraction: float = 0.5):
         if not 0.0 < in_fraction < 1.0:

@@ -94,16 +94,14 @@ def _cmd_resilience(args) -> None:
 
 
 def _cmd_scaling(args) -> None:
-    from repro.experiments.scaling import (
-        run_complexity_scaling,
-        run_node_scaling,
-        to_text,
-    )
+    from repro.experiments.scaling import run_scaling
 
-    print(to_text(run_node_scaling(), "Scaling: number of nodes"))
-    print()
-    print(to_text(
-        run_complexity_scaling(), "Scaling: operation complexity"
+    print(run_scaling(
+        node_counts=tuple(args.nodes),
+        pages_per_op=tuple(args.pages_per_op),
+        seed=args.seed,
+        intervals=args.intervals,
+        jobs=args.jobs,
     ))
 
 
@@ -219,6 +217,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_resilience)
 
     p = sub.add_parser("scaling", help="node-count / complexity scaling")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--intervals", type=int, default=50)
+    p.add_argument("--nodes", type=int, nargs="*", default=[3, 5],
+                   metavar="N",
+                   help="cluster sizes for the node-count sweep, e.g. "
+                        "--nodes 16 32 64 (empty skips the sweep)")
+    p.add_argument("--pages-per-op", type=int, nargs="*",
+                   default=[4, 8, 16], metavar="P",
+                   help="operation sizes for the complexity sweep "
+                        "(empty skips the sweep)")
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_scaling)
 
     p = sub.add_parser("all", help="every experiment in sequence")

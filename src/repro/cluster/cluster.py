@@ -11,7 +11,7 @@ remote cache, or the home node's disk.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.bufmgr.costs import AccessLevel, CostObserver
 from repro.bufmgr.heat import GlobalHeatRegistry
@@ -31,7 +31,7 @@ class Cluster:
 
     def __init__(
         self,
-        config: SystemConfig = None,
+        config: Optional[SystemConfig] = None,
         seed: int = 0,
         policy: str = "cost",
     ):
@@ -59,6 +59,13 @@ class Cluster:
         #: the feedback loop can invalidate state that predates the
         #: crash (see :meth:`restart_node`).
         self._restart_listeners: List[Callable[[int, float], None]] = []
+        # Per-access CPU charges, pre-bound once: the access path reads
+        # them on every page access, so the config attribute chain is
+        # hoisted out of the hot loop.
+        cpu = self.config.cpu
+        self._instr_lookup = cpu.instructions_buffer_lookup
+        self._instr_message = cpu.instructions_message
+        self._instr_page_handling = cpu.instructions_page_handling
         self.nodes: List[Node] = [
             Node(i, self.env, self.config)
             for i in range(self.config.num_nodes)
@@ -68,7 +75,7 @@ class Cluster:
                 node_id=node.node_id,
                 total_bytes=self.config.node.buffer_bytes,
                 page_size=self.config.page_size,
-                clock=lambda: self.env.now,
+                clock=self.env.time,
                 global_heat=self.global_heat,
                 costs=self.costs,
                 is_last_copy=self.directory.is_last_copy,
@@ -102,8 +109,8 @@ class Cluster:
         :class:`AccessLevel` the page was served from.
         """
         node = self.nodes[node_id]
-        start = self.env.now
-        cpu = self.config.cpu
+        env = self.env
+        start = env._now
 
         faults = self.faults
         if faults is not None:
@@ -112,32 +119,56 @@ class Cluster:
             # response times spike — the signal the loop reacts to).
             delay = faults.down_delay(node_id, start)
             if delay > 0.0:
-                yield self.env.timeout(delay)
-        yield from node.cpu.consume(cpu.instructions_buffer_lookup)
+                yield env.timeout(delay)
+        # The buffer-lookup CPU charge, paid on *every* access, is the
+        # hottest resource hold in the simulation.  This is
+        # Resource.occupy's uncontended fast path inlined (same
+        # accounting, same single timeout event) to shed one generator
+        # frame from every event resume on the hit path; any contention
+        # falls back to the shared implementation.
+        cpu = node.cpu
+        res = cpu.resource
+        users = res.users
+        if not res._waiting and not users:
+            if res._busy_since is None:
+                res._busy_since = env._now
+            res._grants += 1
+            users.append(res)
+            try:
+                yield env.timeout(self._instr_lookup / cpu._mips_ms)
+            finally:
+                users.remove(res)
+                if not users and res._busy_since is not None:
+                    res._busy_time += env._now - res._busy_since
+                    res._busy_since = None
+                res._grant_next()
+        else:
+            yield from cpu.consume(self._instr_lookup)
         hit, dropped = node.buffers.probe(page_id, class_id)
-        self._unregister(node_id, dropped)
+        if dropped:
+            self.directory.unregister_many(dropped, node_id)
         if hit:
-            self.costs.observe(AccessLevel.LOCAL, self.env.now - start)
+            self.costs.observe(AccessLevel.LOCAL, env._now - start)
             return AccessLevel.LOCAL
 
         level = yield from self._fetch(node, page_id)
 
         dropped = node.buffers.admit(page_id, class_id)
-        self._unregister(node_id, dropped)
+        if dropped:
+            self.directory.unregister_many(dropped, node_id)
         if node.buffers.contains(page_id):
             self.directory.register(page_id, node_id)
-        self.costs.observe(level, self.env.now - start)
+        self.costs.observe(level, env._now - start)
         return level
 
     def _fetch(self, node: Node, page_id: int):
         """Generator: bring a page to ``node`` from remote cache or disk."""
-        cpu = self.config.cpu
         remote_id = self.directory.remote_holder(page_id, node.node_id)
         if remote_id is not None:
             yield from self.network.send_message(MessageKind.PAGE_REQUEST)
             remote = self.nodes[remote_id]
             yield from remote.cpu.consume(
-                cpu.instructions_message + cpu.instructions_buffer_lookup
+                self._instr_message + self._instr_lookup
             )
             # The copy may have been evicted while our request was in
             # flight; fall back to disk in that case.
@@ -145,7 +176,7 @@ class Cluster:
                 yield from self.network.send_message(
                     MessageKind.PAGE_SHIP, self.config.page_size
                 )
-                yield from node.cpu.consume(cpu.instructions_page_handling)
+                yield from node.cpu.consume(self._instr_page_handling)
                 return AccessLevel.REMOTE
 
         home_id = self.database.home(page_id)
@@ -153,20 +184,20 @@ class Cluster:
         faults = self.faults
         if faults is not None and home_id != node.node_id:
             # The home disk is unreachable while its node restarts.
-            delay = faults.down_delay(home_id, self.env.now)
+            delay = faults.down_delay(home_id, self.env._now)
             if delay > 0.0:
                 yield self.env.timeout(delay)
         if home_id == node.node_id:
             yield from home.disk.read(self.config.page_size)
-            yield from node.cpu.consume(cpu.instructions_page_handling)
+            yield from node.cpu.consume(self._instr_page_handling)
         else:
             yield from self.network.send_message(MessageKind.PAGE_REQUEST)
-            yield from home.cpu.consume(cpu.instructions_message)
+            yield from home.cpu.consume(self._instr_message)
             yield from home.disk.read(self.config.page_size)
             yield from self.network.send_message(
                 MessageKind.PAGE_SHIP, self.config.page_size
             )
-            yield from node.cpu.consume(cpu.instructions_page_handling)
+            yield from node.cpu.consume(self._instr_page_handling)
         return AccessLevel.DISK
 
     # -- allocation plumbing --------------------------------------------
@@ -234,6 +265,5 @@ class Cluster:
         return len(dropped)
 
     def _unregister(self, node_id: int, dropped: List[int]) -> None:
-        directory = self.directory
-        for page_id in dropped:
-            directory.unregister(page_id, node_id)
+        if dropped:
+            self.directory.unregister_many(dropped, node_id)

@@ -21,13 +21,13 @@ class Cpu:
         self.env = env
         self.params = params
         self.resource = Resource(env, capacity=1)
+        # Same divisor service_ms uses, precomputed once; dividing by it
+        # keeps the float results identical to params.service_ms.
+        self._mips_ms = params.mips * 1_000.0
 
     def consume(self, instructions: float):
         """Generator: hold the CPU for ``instructions`` instructions."""
-        service = self.params.service_ms(instructions)
-        with self.resource.request() as req:
-            yield req
-            yield self.env.timeout(service)
+        return self.resource.occupy(instructions / self._mips_ms)
 
     def utilization(self) -> float:
         """Fraction of elapsed time this CPU was busy."""

@@ -14,24 +14,39 @@ accounting stays honest.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Iterable, Optional, Set
 
 from repro.cluster.messages import MessageKind
 from repro.cluster.network import Network
 
 
 class PageDirectory:
-    """Tracks, per page, the set of nodes caching it."""
+    """Tracks, per page, the set of nodes caching it.
+
+    The deterministic lowest-id holder each page's remote fetches go to
+    is maintained incrementally (updated on register, recomputed only
+    when that exact node unregisters) so ``remote_holder`` is O(1)
+    amortized instead of sorting the holder set on every remote miss.
+    """
+
+    __slots__ = ("_holders", "_lowest", "_network")
 
     def __init__(self, network: Optional[Network] = None):
         self._holders: Dict[int, Set[int]] = {}
+        self._lowest: Dict[int, int] = {}  # page id -> min holder id
         self._network = network
 
     def register(self, page_id: int, node_id: int) -> None:
         """Note that ``node_id`` now caches ``page_id``."""
-        holders = self._holders.setdefault(page_id, set())
-        if node_id not in holders:
+        holders = self._holders.get(page_id)
+        if holders is None:
+            self._holders[page_id] = {node_id}
+            self._lowest[page_id] = node_id
+            self._account()
+        elif node_id not in holders:
             holders.add(node_id)
+            if node_id < self._lowest[page_id]:
+                self._lowest[page_id] = node_id
             self._account()
 
     def unregister(self, page_id: int, node_id: int) -> None:
@@ -41,15 +56,48 @@ class PageDirectory:
             holders.remove(node_id)
             if not holders:
                 del self._holders[page_id]
+                del self._lowest[page_id]
+            elif self._lowest[page_id] == node_id:
+                self._lowest[page_id] = min(holders)
             self._account()
 
+    def unregister_many(self, page_ids: Iterable[int],
+                        node_id: int) -> None:
+        """Drop ``node_id``'s copies of every page in ``page_ids``.
+
+        Equivalent to calling :meth:`unregister` per page (including
+        one DIRECTORY_UPDATE accounted per actual removal) without the
+        per-call overhead — eviction bursts hit this path.
+        """
+        all_holders = self._holders
+        lowest = self._lowest
+        removed = 0
+        for page_id in page_ids:
+            holders = all_holders.get(page_id)
+            if holders and node_id in holders:
+                holders.remove(node_id)
+                if not holders:
+                    del all_holders[page_id]
+                    del lowest[page_id]
+                elif lowest[page_id] == node_id:
+                    lowest[page_id] = min(holders)
+                removed += 1
+        if removed:
+            self._account(removed)
+
     def holders(self, page_id: int) -> Set[int]:
-        """Nodes currently caching ``page_id`` (possibly empty)."""
-        return set(self._holders.get(page_id, ()))
+        """Nodes currently caching ``page_id`` (possibly empty).
+
+        Returns the directory's live set — callers must not mutate it,
+        and must snapshot (``list(...)``) before unregistering while
+        iterating.
+        """
+        holders = self._holders.get(page_id)
+        return holders if holders is not None else set()
 
     def cached_anywhere(self, page_id: int) -> bool:
         """True if at least one node caches the page."""
-        return bool(self._holders.get(page_id))
+        return page_id in self._holders
 
     def remote_holder(self, page_id: int, requester: int) -> Optional[int]:
         """A node other than ``requester`` caching the page, if any.
@@ -57,21 +105,39 @@ class PageDirectory:
         Deterministically returns the lowest node id so simulations are
         reproducible.
         """
-        holders = self._holders.get(page_id)
-        if not holders:
+        lowest = self._lowest.get(page_id)
+        if lowest is None:
             return None
-        candidates = sorted(h for h in holders if h != requester)
-        return candidates[0] if candidates else None
+        if lowest != requester:
+            return lowest
+        # The requester is itself the lowest holder; fall back to the
+        # next-lowest (rare: the caller usually checks its own cache
+        # before asking for a remote copy).
+        best = None
+        for holder in self._holders[page_id]:
+            if holder != requester and (best is None or holder < best):
+                best = holder
+        return best
 
     def is_last_copy(self, page_id: int, node_id: int) -> bool:
         """True if ``node_id`` holds the only cached copy of the page."""
         holders = self._holders.get(page_id)
-        return holders == {node_id}
+        return (
+            holders is not None
+            and len(holders) == 1
+            and node_id in holders
+        )
 
     def copy_count(self, page_id: int) -> int:
         """Number of cached copies across the cluster."""
-        return len(self._holders.get(page_id, ()))
+        holders = self._holders.get(page_id)
+        return len(holders) if holders is not None else 0
 
-    def _account(self) -> None:
+    def _account(self, count: int = 1) -> None:
         if self._network is not None:
-            self._network.account_only(MessageKind.DIRECTORY_UPDATE)
+            if count == 1:
+                self._network.account_only(MessageKind.DIRECTORY_UPDATE)
+            else:
+                self._network.account_many(
+                    MessageKind.DIRECTORY_UPDATE, count
+                )

@@ -32,9 +32,7 @@ class Disk:
         service = self.params.access_ms(nbytes)
         if self.fault_factor != 1.0:
             service *= self.fault_factor
-        with self.resource.request() as req:
-            yield req
-            yield self.env.timeout(service)
+        yield from self.resource.occupy(service)
         self.reads += 1
         self.service_stats.add(service)
 
@@ -51,9 +49,7 @@ class Disk:
         service = self.params.avg_rotational_ms + transfer
         if self.fault_factor != 1.0:
             service *= self.fault_factor
-        with self.resource.request() as req:
-            yield req
-            yield self.env.timeout(service)
+        yield from self.resource.occupy(service)
         self.writes += 1
         self.service_stats.add(service)
 

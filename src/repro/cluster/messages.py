@@ -99,6 +99,16 @@ class TrafficAccounting:
         self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + nbytes
         self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + 1
 
+    def record_many(self, kind: MessageKind, nbytes: int,
+                    count: int) -> None:
+        """Account ``count`` transfers of ``nbytes`` bytes each."""
+        self.bytes_by_kind[kind] = (
+            self.bytes_by_kind.get(kind, 0) + nbytes * count
+        )
+        self.messages_by_kind[kind] = (
+            self.messages_by_kind.get(kind, 0) + count
+        )
+
     @property
     def total_bytes(self) -> int:
         """All bytes that crossed the network."""

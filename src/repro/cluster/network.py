@@ -34,9 +34,7 @@ class Network:
         if faults is not None and faults.extra_ms > 0.0:
             # Active latency-spike episode: every transfer pays extra.
             wire_time += faults.extra_ms
-        with self.medium.request() as req:
-            yield req
-            yield self.env.timeout(wire_time)
+        yield from self.medium.occupy(wire_time)
         self.accounting.record(kind, nbytes)
 
     def send_message(self, kind: MessageKind, page_size: int = 0):
@@ -51,6 +49,15 @@ class Network:
         the §7.5 overhead study.
         """
         self.accounting.record(kind, message_size(kind, page_size))
+
+    def account_many(self, kind: MessageKind, count: int) -> None:
+        """Record ``count`` fire-and-forget control messages at once.
+
+        Batched variant of :meth:`account_only` for bursts (e.g. the
+        directory unregistering a whole eviction batch) — identical
+        ledger totals, one call.
+        """
+        self.accounting.record_many(kind, message_size(kind), count)
 
     def send_control(self, kind: MessageKind, page_size: int = 0) -> bool:
         """Account one fire-and-forget control message; report delivery.

@@ -264,10 +264,18 @@ class Process(Event):
                 event._ok = False
                 event._value = exc
                 continue
-            if target.callbacks is None:  # already processed
+            callbacks = target.callbacks
+            if callbacks is None:  # already processed
                 event = target
                 continue
-            target._add_callback(self._resume)
+            # Same fusion for every other event kind (resource grants,
+            # process joins, ...): the dispatch loops resume _fast_proc
+            # before running callbacks, so first-waiter-in-the-slot is
+            # ordering-identical to first-callback-in-the-list.
+            if target._fast_proc is None and not callbacks:
+                target._fast_proc = self
+            else:
+                callbacks.append(self._resume)
             self._target = target
             break
         env._active_process = None
@@ -354,6 +362,15 @@ class Environment:
     @property
     def now(self) -> float:
         """Current simulation time."""
+        return self._now
+
+    def time(self) -> float:
+        """Current simulation time, as a plain method.
+
+        Equivalent to :attr:`now`; hot paths that need a ``clock``
+        callable bind this method directly instead of wrapping the
+        property in a lambda.
+        """
         return self._now
 
     @property

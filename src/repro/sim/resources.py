@@ -18,7 +18,7 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional
 
-from repro.sim.engine import Environment, Event
+from repro.sim.engine import URGENT, Environment, Event
 
 
 class Request(Event):
@@ -106,10 +106,65 @@ class Resource:
         """Mean queueing delay over all grants so far."""
         return self._wait_total / self._grants if self._grants else 0.0
 
+    def occupy(self, service: float):
+        """Generator: acquire one unit, hold it ``service``, release it.
+
+        Semantically identical to::
+
+            with self.request() as req:
+                yield req
+                yield env.timeout(service)
+
+        but when the resource is idle the whole Request/grant-event
+        round trip is skipped: the holder is marked busy inline (the
+        resource object itself serves as the hold token in ``users``)
+        and only the service timeout is scheduled — one event instead
+        of two.  Contended acquisitions fall back to the queued path
+        unchanged, so FIFO ordering and wait accounting are preserved.
+        """
+        users = self.users
+        if not self._waiting and len(users) < self.capacity:
+            env = self.env
+            if self._busy_since is None:
+                self._busy_since = env._now
+            self._grants += 1
+            users.append(self)
+            try:
+                yield env.timeout(service)
+            finally:
+                users.remove(self)
+                if not users and self._busy_since is not None:
+                    self._busy_time += env._now - self._busy_since
+                    self._busy_since = None
+                self._grant_next()
+        else:
+            with self.request() as req:
+                yield req
+                yield self.env.timeout(service)
+
     # -- internals -------------------------------------------------
 
     def _enqueue(self, request: Request) -> None:
-        request._enqueued_at = self.env.now
+        env = self.env
+        users = self.users
+        if not self._waiting and len(users) < self.capacity:
+            # Uncontended fast path: grant synchronously, with the grant
+            # event pushed exactly as ``request.succeed(0.0)`` would —
+            # same heap tuple, same sequence number, so contention and
+            # ordering behave identically to the queued path.
+            now = env._now
+            request._enqueued_at = now
+            users.append(request)
+            if self._busy_since is None:
+                self._busy_since = now
+            self._grants += 1
+            request._ok = True
+            request._value = 0.0
+            seq = env._seq
+            env._seq = seq + 1
+            heapq.heappush(env._queue, (now, URGENT, seq, request))
+            return
+        request._enqueued_at = env._now
         self._waiting.append(request)
         self._grant_next()
 

@@ -15,6 +15,8 @@ from typing import List, Sequence, Tuple
 class OnlineStats:
     """Incremental mean / variance / extrema (Welford)."""
 
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
     def __init__(self):
         self.count = 0
         self._mean = 0.0
@@ -85,6 +87,8 @@ class WindowStats:
     snapshots the window and the agent resets it.
     """
 
+    __slots__ = ("window", "lifetime")
+
     def __init__(self):
         self.window = OnlineStats()
         self.lifetime = OnlineStats()
@@ -103,6 +107,8 @@ class WindowStats:
 
 class TimeSeries:
     """An append-only (time, value) series for plots and reports."""
+
+    __slots__ = ("name", "times", "values")
 
     def __init__(self, name: str = ""):
         self.name = name

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.sim.engine import Environment, Event
 
@@ -100,7 +100,7 @@ class LockManager:
     """Page lock table of one node (pages homed there)."""
 
     def __init__(self, env: Environment,
-                 wait_graph: "WaitForGraph" = None):
+                 wait_graph: Optional["WaitForGraph"] = None):
         self.env = env
         self._locks: Dict[int, _LockState] = {}
         #: Wait-for graph; share one across managers for distributed

@@ -205,7 +205,10 @@ class TransactionManager:
     def _invalidate_copies(self, txn: Transaction):
         """Drop stale cached copies of written pages on other nodes."""
         for page_id in txn.write_set:
-            holders = self.cluster.directory.holders(page_id)
+            # holders() returns the directory's live set; snapshot (and
+            # order deterministically) before unregistering inside the
+            # loop.
+            holders = sorted(self.cluster.directory.holders(page_id))
             for node_id in holders:
                 if node_id == txn.origin_node:
                     continue

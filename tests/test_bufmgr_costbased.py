@@ -135,3 +135,31 @@ def test_revalidate_must_be_positive():
     model, *_ = make_model()
     with pytest.raises(ValueError):
         CostBasedPool(capacity=2, model=model, revalidate=0)
+
+
+def test_touch_with_falling_benefit_surfaces_page():
+    """A cooled page must not hide behind its stale high-priced entry.
+
+    ``touch`` defers heap pushes when the estimate rises (the stale
+    lower-priced entry surfaces no later than it should), but a falling
+    estimate must enter the heap immediately — otherwise, with a small
+    ``revalidate`` budget, the victim search never reaches the stale
+    high-priced entry and the cold page escapes eviction.
+    """
+    model, clock, local, _, _ = make_model()
+    pool = CostBasedPool(capacity=2, model=model, revalidate=1)
+    local.record(1, 9.0)
+    local.record(1, 10.0)   # page 1 very hot at insert time
+    local.record(2, 0.0)
+    local.record(2, 10.0)   # page 2 lukewarm
+    clock.now = 10.0
+    pool.insert(1)
+    pool.insert(2)
+    # Much later page 2 is re-heated while page 1 went cold.
+    clock.now = 1000.0
+    local.record(2, 999.0)
+    local.record(2, 1000.0)
+    pool.touch(2)           # rising estimate: deferred, no heap push
+    pool.touch(1)           # falling estimate: pushed immediately
+    assert pool.insert(3) == [1]
+    assert 2 in pool and 3 in pool

@@ -132,3 +132,52 @@ def test_global_registry_pending_bounded_by_threshold_cycle():
     assert registry.pending_count == 0
     registry.record(1, now=4.0)
     assert registry.pending_count == 1
+
+
+def test_default_k2_is_tuple_specialized():
+    """k=2 (the system default) uses the flat tuple-pair layout."""
+    from repro.bufmgr.heat import _DequeHeatTracker
+
+    assert type(HeatTracker()) is HeatTracker
+    assert type(HeatTracker(k=2)) is HeatTracker
+    fallback = HeatTracker(k=3)
+    assert isinstance(fallback, _DequeHeatTracker)
+    assert fallback.k == 3
+
+
+def test_k3_fallback_keeps_only_three_newest():
+    tracker = HeatTracker(k=3)
+    for t in (0.0, 100.0, 110.0, 118.0):
+        tracker.record("p", now=t)
+    # Window is the 3 newest accesses: span from t=100 to now.
+    assert tracker.heat("p", now=118.0) == pytest.approx(3 / 18)
+
+
+def test_k3_fallback_partial_window_and_forget():
+    tracker = HeatTracker(k=3)
+    tracker.record("p", now=0.0)
+    tracker.record("p", now=4.0)
+    assert tracker.heat("p", now=4.0) == pytest.approx(0.5)
+    tracker.forget("p")
+    assert not tracker.tracked("p")
+    assert tracker.heat("p", now=5.0) == 0.0
+    assert len(tracker) == 0
+
+
+def test_global_registry_threshold_restarts_after_forget():
+    """forget() discards part-way dissemination progress with the page."""
+    updates = []
+    registry = GlobalHeatRegistry(
+        k=2, on_update=lambda: updates.append(1), update_threshold=3
+    )
+    registry.record(1, now=0.0)
+    registry.record(1, now=1.0)
+    assert registry.pending_count == 1
+    registry.forget(1)
+    assert registry.pending_count == 0
+    registry.record(1, now=2.0)
+    registry.record(1, now=3.0)
+    assert updates == []  # counter restarted from zero
+    registry.record(1, now=4.0)
+    assert len(updates) == 1
+    assert registry.pending_count == 0

@@ -41,6 +41,25 @@ def test_demo_runs_end_to_end(capsys):
     assert "dedicated=" in out
 
 
+def test_scaling_defaults():
+    args = build_parser().parse_args(["scaling"])
+    assert args.seed == 7
+    assert args.intervals == 50
+    assert args.nodes == [3, 5]
+    assert args.pages_per_op == [4, 8, 16]
+    assert args.jobs == 1
+
+
+def test_scaling_accepts_large_clusters_and_empty_axis():
+    args = build_parser().parse_args(
+        ["scaling", "--nodes", "16", "32", "64",
+         "--pages-per-op", "--jobs", "2"]
+    )
+    assert args.nodes == [16, 32, 64]
+    assert args.pages_per_op == []  # skips the complexity sweep
+    assert args.jobs == 2
+
+
 def test_resilience_defaults():
     args = build_parser().parse_args(["resilience"])
     assert args.seed == 0

@@ -79,3 +79,59 @@ def test_directory_accounts_updates_on_network():
     directory.unregister(1, 0)
     directory.unregister(1, 0)  # no change, no message
     assert network.calls == 2
+
+
+def test_remote_holder_stays_lowest_under_churn():
+    """The incremental lowest-id holder survives register/unregister."""
+    directory = PageDirectory()
+    for node in (5, 3, 8):
+        directory.register(1, node)
+    assert directory.remote_holder(1, requester=9) == 3
+    directory.unregister(1, 3)       # drop the current lowest
+    assert directory.remote_holder(1, requester=9) == 5
+    directory.register(1, 2)         # a new lowest arrives
+    assert directory.remote_holder(1, requester=9) == 2
+    directory.unregister(1, 8)       # dropping a non-lowest is inert
+    assert directory.remote_holder(1, requester=9) == 2
+    directory.unregister(1, 2)
+    assert directory.remote_holder(1, requester=9) == 5
+    assert directory.remote_holder(1, requester=5) is None
+    directory.unregister(1, 5)
+    assert not directory.cached_anywhere(1)
+
+
+def test_unregister_many_matches_per_page_unregister():
+    batched, looped = PageDirectory(), PageDirectory()
+    pages = [1, 2, 3, 4]
+    for directory in (batched, looped):
+        for page in pages:
+            directory.register(page, 0)
+            directory.register(page, page)
+    batched.unregister_many([1, 2, 99, 3], node_id=0)  # 99: no-op
+    for page in (1, 2, 99, 3):
+        looped.unregister(page, 0)
+    for page in pages:
+        assert batched.holders(page) == looped.holders(page)
+        assert (batched.remote_holder(page, requester=7)
+                == looped.remote_holder(page, requester=7))
+        assert batched.copy_count(page) == looped.copy_count(page)
+
+
+def test_unregister_many_accounts_batched_updates():
+    class FakeNetwork:
+        def __init__(self):
+            self.messages = 0
+
+        def account_only(self, kind):
+            self.messages += 1
+
+        def account_many(self, kind, count):
+            self.messages += count
+
+    network = FakeNetwork()
+    directory = PageDirectory(network)
+    for page in (1, 2, 3):
+        directory.register(page, 0)
+    registered = network.messages
+    directory.unregister_many([1, 2, 3, 77], node_id=0)  # 77: no-op
+    assert network.messages - registered == 3

@@ -45,6 +45,17 @@ def test_complexity_scaling_runs_at_fast_scale(fast_config):
     assert points[0].pages_per_op == 4
 
 
+def test_node_scaling_jobs_identical(fast_config):
+    """Worker processes must not change any reported number."""
+    kwargs = dict(
+        node_counts=(2, 3), base_config=fast_config, intervals=8,
+        seed=3,
+    )
+    serial = run_node_scaling(jobs=1, **kwargs)
+    parallel = run_node_scaling(jobs=2, **kwargs)
+    assert serial == parallel
+
+
 def test_to_text_renders_never():
     from repro.experiments.scaling import ScalingPoint
 
