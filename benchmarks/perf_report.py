@@ -6,6 +6,10 @@ small fixed figure-2 run, and writes ``BENCH_substrate.json`` at the
 repository root.  ``--scaling`` instead runs the cluster-scaling bench
 (page-access cost vs. node count and database size, plus the heat
 bookkeeping memory footprint) and writes ``BENCH_scaling.json``.
+``--sweep`` times cold vs. fork-server goal sweeps (see
+:mod:`repro.experiments.forkserver`) and writes ``BENCH_sweep.json``;
+the recorded speedups are measured in the same run, so they need no
+cross-commit baseline constants.
 
 The ``BASELINE_SECONDS`` constants are the best-of-5 times of the same
 workloads measured on the pre-optimization substrate (commit
@@ -40,6 +44,9 @@ from repro.sim.resources import Resource  # noqa: E402
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
 SCALING_REPORT_PATH = (
     Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
+)
+SWEEP_REPORT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
 )
 
 #: Pre-change reference times (seconds, best of 5) for this machine.
@@ -324,6 +331,62 @@ def build_scaling_report(repeats: int) -> dict:
     }
 
 
+def bench_goal_sweep(points: int, runner: str) -> float:
+    """Wall-clock of one figure-2 goal sweep at ``jobs=1``.
+
+    Short measured horizon against a long warm-up (4 intervals of 2 s
+    vs. 20 s), the regime the warm-state fork server targets: cold pays
+    ``points`` warm-ups, fork pays one per replicate.  ``jobs=1`` so
+    the comparison isolates warm-up amortization from multi-core
+    speedup — the two compose.
+    """
+    from repro.cluster.config import NodeParameters
+    from repro.experiments.calibration import GoalRange
+    from repro.experiments.figure2 import run_goal_sweep
+
+    config = SystemConfig(
+        num_nodes=3,
+        num_pages=400,
+        node=NodeParameters(buffer_bytes=256 * 1024),
+        observation_interval_ms=2_000.0,
+    )
+    goal_range = GoalRange(class_id=1, goal_min_ms=2.0, goal_max_ms=8.0)
+    start = time.perf_counter()
+    sweep = run_goal_sweep(
+        points=points,
+        seed=42,
+        intervals=4,
+        config=config,
+        goal_range=goal_range,
+        warmup_ms=20_000.0,
+        jobs=1,
+        runner=runner,
+    )
+    elapsed = time.perf_counter() - start
+    assert sweep.runner == runner and len(sweep.points) == points
+    return elapsed
+
+
+def build_sweep_report() -> dict:
+    """Cold vs. forked wall-clock for figure-2 goal sweeps."""
+    benchmarks = {}
+    for points in (4, 12):
+        cold = bench_goal_sweep(points, "cold")
+        forked = bench_goal_sweep(points, "fork")
+        benchmarks[f"goal_sweep_{points}_points"] = {
+            "points": points,
+            "cold_seconds": round(cold, 6),
+            "fork_seconds": round(forked, 6),
+            "speedup": round(cold / forked, 2),
+        }
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "jobs": 1,
+        "benchmarks": benchmarks,
+    }
+
+
 def build_report(repeats: int) -> dict:
     benchmarks = {}
 
@@ -372,12 +435,22 @@ def main(argv=None) -> None:
              f"microbenchmarks (writes {SCALING_REPORT_PATH.name})",
     )
     parser.add_argument(
+        "--sweep", action="store_true",
+        help="run the warm-state fork-server sweep bench instead "
+             f"(cold vs. forked goal sweeps; writes "
+             f"{SWEEP_REPORT_PATH.name})",
+    )
+    parser.add_argument(
         "--out", type=Path, default=None,
         help=f"output path (default {REPORT_PATH.name}, or "
-             f"{SCALING_REPORT_PATH.name} with --scaling)",
+             f"{SCALING_REPORT_PATH.name} with --scaling, or "
+             f"{SWEEP_REPORT_PATH.name} with --sweep)",
     )
     args = parser.parse_args(argv)
-    if args.scaling:
+    if args.sweep:
+        report = build_sweep_report()
+        out = args.out if args.out is not None else SWEEP_REPORT_PATH
+    elif args.scaling:
         repeats = args.repeats if args.repeats != 20 else 6
         report = build_scaling_report(repeats)
         out = args.out if args.out is not None else SCALING_REPORT_PATH

@@ -18,6 +18,11 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.experiments.runner import (
+    DEFAULT_WARMUP_MS,
+    RESILIENCE_WARMUP_MS,
+)
+
 
 def _cmd_table1(args) -> None:
     from repro.experiments import table1
@@ -27,11 +32,18 @@ def _cmd_table1(args) -> None:
 
 
 def _cmd_figure2(args) -> None:
-    from repro.experiments.figure2 import run_figure2
+    from repro.experiments.figure2 import run_figure2, run_goal_sweep
 
+    if args.sweep:
+        sweep = run_goal_sweep(
+            points=args.sweep, seed=args.seed, intervals=args.intervals,
+            warmup_ms=args.warmup_ms, jobs=args.jobs, runner=args.runner,
+        )
+        print(sweep.to_text())
+        return
     data = run_figure2(
         seed=args.seed, intervals=args.intervals, jobs=args.jobs,
-        faults=args.faults,
+        warmup_ms=args.warmup_ms, faults=args.faults,
     )
     if args.chart:
         print(data.to_chart())
@@ -51,14 +63,38 @@ def _cmd_table2(args) -> None:
         max_replications=args.replications,
         base_seed=args.seed,
         jobs=args.jobs,
+        runner=args.runner,
     )
     print(table2.to_text(results))
 
 
-def _cmd_multiclass(args) -> None:
-    from repro.experiments.multiclass import run_sharing_sweep
+def _parse_goal_pair(text: str):
+    try:
+        goal1, goal2 = text.split(":")
+        return float(goal1), float(goal2)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected GOAL1:GOAL2 (e.g. 4:10), got {text!r}"
+        )
 
-    result = run_sharing_sweep(intervals=args.intervals, jobs=args.jobs)
+
+def _cmd_multiclass(args) -> None:
+    from repro.experiments.multiclass import (
+        run_goal_sweep,
+        run_sharing_sweep,
+    )
+
+    if args.goal_pairs:
+        sweep = run_goal_sweep(
+            goal_pairs=args.goal_pairs, intervals=args.intervals,
+            warmup_ms=args.warmup_ms, jobs=args.jobs, runner=args.runner,
+        )
+        print(sweep.to_text())
+        return
+    result = run_sharing_sweep(
+        intervals=args.intervals, jobs=args.jobs, runner=args.runner,
+        warmup_ms=args.warmup_ms,
+    )
     print(result.to_text())
     print(
         "k2 dedicated memory decreases with sharing: "
@@ -73,8 +109,26 @@ def _cmd_overhead(args) -> None:
 
 
 def _cmd_resilience(args) -> None:
-    from repro.experiments.resilience import quick_config, run_resilience
+    from repro.experiments.resilience import (
+        quick_config,
+        run_goal_sweep,
+        run_resilience,
+    )
 
+    if args.sweep_goals:
+        sweep = run_goal_sweep(
+            goals=args.sweep_goals,
+            seed=args.seed,
+            intervals=args.intervals,
+            config=quick_config() if args.quick else None,
+            faults=args.faults,
+            replications=args.replications,
+            warmup_ms=args.warmup_ms,
+            jobs=args.jobs,
+            runner=args.runner,
+        )
+        print(sweep.to_text())
+        return
     data = run_resilience(
         seed=args.seed,
         intervals=args.intervals,
@@ -82,6 +136,7 @@ def _cmd_resilience(args) -> None:
         goal_ms=args.goal,
         faults=args.faults,
         replications=args.replications,
+        warmup_ms=args.warmup_ms,
         jobs=args.jobs,
     )
     if args.chart:
@@ -154,6 +209,35 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_runner_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--runner", choices=("auto", "fork", "cold"), default="auto",
+        help=(
+            "sweep execution strategy: 'fork' shares one warmed "
+            "simulation per replicate via os.fork (bit-identical to "
+            "'cold', which runs every point from scratch); 'auto' "
+            "forks whenever the sweep shares warm state and the "
+            "platform allows it"
+        ),
+    )
+
+
+def _add_warmup_flag(
+    parser: argparse.ArgumentParser, default_ms: float
+) -> None:
+    # The per-experiment defaults differ on purpose (see the constants
+    # in repro.experiments.runner): calibration warms 3x longer than
+    # the feedback experiments and resilience's scaled-down setting
+    # warms half as long.
+    parser.add_argument(
+        "--warmup-ms", type=float, default=default_ms, metavar="MS",
+        help=(
+            "simulated warm-up before the controller starts "
+            f"(default: {default_ms:g} ms for this experiment)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -178,17 +262,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also export the series as CSV")
     p.add_argument("--faults", metavar="SPEC", default=None,
                    help="inject a fault schedule (see docs/faults.md)")
+    p.add_argument("--sweep", type=int, default=0, metavar="POINTS",
+                   help="instead of the figure, sweep POINTS fixed "
+                        "goals across the calibrated range (amortized "
+                        "by the warm-state fork server)")
+    _add_warmup_flag(p, DEFAULT_WARMUP_MS)
+    _add_runner_flag(p)
     _add_jobs_flag(p)
     p.set_defaults(func=_cmd_figure2)
 
     p = sub.add_parser("table2", help="convergence vs. skew")
     p.add_argument("--seed", type=int, default=100)
     p.add_argument("--replications", type=int, default=12)
+    _add_runner_flag(p)
     _add_jobs_flag(p)
     p.set_defaults(func=_cmd_table2)
 
     p = sub.add_parser("multiclass", help="§7.4 sharing study")
     p.add_argument("--intervals", type=int, default=60)
+    p.add_argument("--goal-pairs", type=_parse_goal_pair, nargs="*",
+                   default=None, metavar="G1:G2",
+                   help="instead of the sharing sweep, sweep these "
+                        "(goal k1, goal k2) pairs off one warmed "
+                        "simulation, e.g. --goal-pairs 3:8 4:10 5:12")
+    _add_warmup_flag(p, DEFAULT_WARMUP_MS)
+    _add_runner_flag(p)
     _add_jobs_flag(p)
     p.set_defaults(func=_cmd_multiclass)
 
@@ -213,6 +311,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also render the recovery chart")
     p.add_argument("--csv", metavar="PATH",
                    help="export replicate 0's series as CSV")
+    p.add_argument("--sweep-goals", type=float, nargs="*", default=None,
+                   metavar="MS",
+                   help="instead of one goal, sweep these goals under "
+                        "the same fault schedule (amortized by the "
+                        "warm-state fork server)")
+    _add_warmup_flag(p, RESILIENCE_WARMUP_MS)
+    _add_runner_flag(p)
     _add_jobs_flag(p)
     p.set_defaults(func=_cmd_resilience)
 

@@ -7,6 +7,7 @@
 - :mod:`repro.experiments.overhead` — §7.5 overhead accounting.
 - :mod:`repro.experiments.calibration` — the §7.3 goal-range anchors.
 - :mod:`repro.experiments.convergence` — the §7.1 measurement protocol.
+- :mod:`repro.experiments.forkserver` — warm-state fork server for sweeps.
 """
 
 from repro.experiments.calibration import (
@@ -14,14 +15,32 @@ from repro.experiments.calibration import (
     calibrate_goal_range,
     measure_static_rt,
 )
+from repro.experiments.forkserver import (
+    ForkUnavailableError,
+    WarmDelta,
+    WarmGroup,
+    WarmupInvarianceError,
+    apply_delta,
+    plan_sweep,
+    run_warm_groups,
+    run_warm_sweep,
+    supports_fork,
+    warmup_invariant,
+)
 from repro.experiments.convergence import (
     ConvergenceResult,
     ConvergenceSettings,
     convergence_experiment,
     measure_convergence_run,
 )
-from repro.experiments.figure2 import Figure2Data, run_figure2
+from repro.experiments.figure2 import (
+    Figure2Data,
+    GoalSweepData,
+    run_figure2,
+    run_goal_sweep,
+)
 from repro.experiments.multiclass import (
+    MulticlassGoalSweep,
     MulticlassResult,
     SharingPoint,
     doubled_cache_config,
@@ -31,6 +50,9 @@ from repro.experiments.multiclass import (
 )
 from repro.experiments.overhead import OverheadResult, run_overhead
 from repro.experiments.runner import (
+    CALIBRATION_WARMUP_MS,
+    DEFAULT_WARMUP_MS,
+    RESILIENCE_WARMUP_MS,
     Simulation,
     build_base_experiment,
     default_workload,
@@ -49,18 +71,28 @@ from repro.experiments.table1 import (
 from repro.experiments.table2 import PAPER_TABLE2, run_table2
 
 __all__ = [
+    "CALIBRATION_WARMUP_MS",
     "ConvergenceResult",
     "ConvergenceSettings",
+    "DEFAULT_WARMUP_MS",
     "Figure2Data",
+    "ForkUnavailableError",
     "GoalRange",
+    "GoalSweepData",
+    "MulticlassGoalSweep",
     "MulticlassResult",
     "OverheadResult",
     "PAPER_TABLE1",
     "PAPER_TABLE2",
+    "RESILIENCE_WARMUP_MS",
     "ScalingPoint",
     "SharingPoint",
     "Simulation",
     "Table1Row",
+    "WarmDelta",
+    "WarmGroup",
+    "WarmupInvarianceError",
+    "apply_delta",
     "run_complexity_scaling",
     "run_node_scaling",
     "build_base_experiment",
@@ -72,10 +104,16 @@ __all__ = [
     "measure_row",
     "measure_static_rt",
     "multiclass_workload",
+    "plan_sweep",
     "run_figure2",
+    "run_goal_sweep",
     "run_overhead",
     "run_sharing_point",
     "run_sharing_sweep",
     "run_table1",
     "run_table2",
+    "run_warm_groups",
+    "run_warm_sweep",
+    "supports_fork",
+    "warmup_invariant",
 ]

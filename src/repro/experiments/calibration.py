@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import SystemConfig
+from repro.experiments.runner import CALIBRATION_WARMUP_MS
 from repro.sim.stats import OnlineStats
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.spec import WorkloadSpec
@@ -57,7 +58,7 @@ def measure_static_rt(
     config: Optional[SystemConfig] = None,
     seed: int = 0,
     policy: str = "cost",
-    warmup_ms: float = 60_000.0,
+    warmup_ms: float = CALIBRATION_WARMUP_MS,
     measure_ms: float = 90_000.0,
 ) -> float:
     """Steady-state mean RT of ``class_id`` under a static allocation.
@@ -87,7 +88,7 @@ def calibrate_goal_range(
     config: Optional[SystemConfig] = None,
     seed: int = 0,
     policy: str = "cost",
-    warmup_ms: float = 60_000.0,
+    warmup_ms: float = CALIBRATION_WARMUP_MS,
     measure_ms: float = 90_000.0,
     jobs: int = 1,
 ) -> GoalRange:

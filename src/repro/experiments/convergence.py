@@ -25,7 +25,11 @@ from repro.experiments.parallel import (
     derive_replicate_seed,
     replicate_with_stopping,
 )
-from repro.experiments.runner import Simulation, default_workload
+from repro.experiments.runner import (
+    DEFAULT_WARMUP_MS,
+    Simulation,
+    default_workload,
+)
 from repro.cluster.config import SystemConfig
 from repro.sim.stats import mean_confidence_interval
 
@@ -40,7 +44,7 @@ class ConvergenceSettings:
     arrival_rate_per_node: float = 0.02
     policy: str = "cost"
     #: Simulated warm time before the controller starts.
-    warmup_ms: float = 20_000.0
+    warmup_ms: float = DEFAULT_WARMUP_MS
     #: Intervals allowed for the initial (cold-start) convergence.
     initial_intervals: int = 40
     #: Goal changes measured per replication.
@@ -148,6 +152,7 @@ def convergence_experiment(
     max_replications: int = 12,
     base_seed: int = 100,
     jobs: int = 1,
+    runner: str = "auto",
 ) -> ConvergenceResult:
     """Replicated convergence measurement for one skew setting.
 
@@ -159,8 +164,23 @@ def convergence_experiment(
     ``jobs`` runs replicates on worker processes; the stopping rule is
     applied over the index-ordered prefix of replicate results, so any
     ``jobs`` value yields the same samples and statistics as ``jobs=1``.
+
+    Every replicate here has its own seed, so no two units of work
+    share a warm-up trajectory — the fork-server planner
+    (:func:`repro.experiments.forkserver.plan_sweep`) therefore always
+    resolves this protocol to the cold per-replicate path.  Passing
+    ``runner='fork'`` raises rather than silently running cold.
     """
+    from repro.experiments.forkserver import plan_sweep
+
     settings = settings if settings is not None else ConvergenceSettings()
+    plan_sweep(
+        runner,
+        warm_keys=[
+            derive_replicate_seed(base_seed, i)
+            for i in range(max_replications)
+        ],
+    )
     if goal_range is None:
         workload = default_workload(
             settings.config,

@@ -15,14 +15,19 @@ Run standalone::
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.cluster.config import SystemConfig
 from repro.experiments.calibration import GoalRange, calibrate_goal_range
 from repro.experiments.convergence import _next_goal
-from repro.experiments.reporting import format_series
-from repro.experiments.runner import Simulation, default_workload
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.runner import (
+    DEFAULT_WARMUP_MS,
+    Simulation,
+    default_workload,
+)
 
 
 @dataclass
@@ -101,7 +106,7 @@ def run_figure2(
     goal_range: Optional[GoalRange] = None,
     arrival_rate_per_node: float = 0.02,
     satisfied_before_change: int = 4,
-    warmup_ms: float = 20_000.0,
+    warmup_ms: float = DEFAULT_WARMUP_MS,
     recorder=None,
     jobs: int = 1,
     faults=None,
@@ -157,6 +162,208 @@ def run_figure2(
         data.goal.append(series.goal.values[i])
         data.dedicated_bytes.append(series.dedicated_bytes.values[i])
         data.satisfied.append(series.satisfied[i])
+    return data
+
+
+# -- the goal sweep ---------------------------------------------------
+
+
+@dataclass
+class GoalPoint:
+    """Steady-state outcome of the base experiment at one fixed goal."""
+
+    goal_ms: float
+    seed: int
+    observed_rt: List[Optional[float]] = field(default_factory=list)
+    goal: List[float] = field(default_factory=list)
+    dedicated_bytes: List[float] = field(default_factory=list)
+    satisfied: List[bool] = field(default_factory=list)
+
+    def satisfaction_ratio(self) -> float:
+        """Fraction of intervals in which the goal was satisfied."""
+        if not self.satisfied:
+            return 0.0
+        return sum(self.satisfied) / len(self.satisfied)
+
+    def mean_observed_rt(self) -> float:
+        """Mean observed RT over intervals with completions."""
+        values = [rt for rt in self.observed_rt if rt is not None]
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_dedicated_bytes(self) -> float:
+        """Mean systemwide dedicated cache over the run."""
+        if not self.dedicated_bytes:
+            return 0.0
+        return sum(self.dedicated_bytes) / len(self.dedicated_bytes)
+
+
+@dataclass
+class GoalSweepData:
+    """A sweep of the base experiment over fixed response time goals."""
+
+    goal_range: Optional[GoalRange]
+    runner: str
+    points: List[GoalPoint] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Render the sweep as an aligned text table."""
+        rows = [
+            [
+                p.seed,
+                round(p.goal_ms, 3),
+                round(p.satisfaction_ratio(), 3),
+                round(p.mean_observed_rt(), 3),
+                int(p.mean_dedicated_bytes()),
+            ]
+            for p in self.points
+        ]
+        return format_table(
+            ["seed", "goal_ms", "satisfied", "mean_rt_ms",
+             "mean dedicated (B)"],
+            rows,
+            title=f"Figure 2 goal sweep ({self.runner} runner)",
+        )
+
+
+def _summarize_goal_point(sim: Simulation, intervals: int) -> GoalPoint:
+    """Run the measured horizon and extract one sweep point's series."""
+    sim.run(intervals=intervals)
+    series = sim.controller.series[1]
+    point = GoalPoint(
+        goal_ms=sim.controller.goal_of(1), seed=sim.cluster.rng.seed
+    )
+    observed = series.observed_rt.values
+    for i in range(len(series.goal.values)):
+        point.observed_rt.append(
+            observed[i] if i < len(observed) else None
+        )
+        point.goal.append(series.goal.values[i])
+        point.dedicated_bytes.append(series.dedicated_bytes.values[i])
+        point.satisfied.append(series.satisfied[i])
+    return point
+
+
+def _cold_goal_point_task(task) -> GoalPoint:
+    """One cold sweep point (module-level: picklable for ``jobs>1``)."""
+    (config, skew, arrival_rate_per_node, goal_ms, seed, warmup_ms,
+     intervals) = task
+    workload = default_workload(
+        config, goal_ms=goal_ms, skew=skew,
+        arrival_rate_per_node=arrival_rate_per_node,
+    )
+    sim = Simulation(
+        config=config, workload=workload, seed=seed, warmup_ms=warmup_ms
+    )
+    return _summarize_goal_point(sim, intervals)
+
+
+def _build_sweep_sim(
+    config: SystemConfig,
+    skew: float,
+    arrival_rate_per_node: float,
+    base_goal_ms: float,
+    seed: int,
+    warmup_ms: float,
+) -> Simulation:
+    """Parent simulation of one warm group (module-level for clarity)."""
+    workload = default_workload(
+        config, goal_ms=base_goal_ms, skew=skew,
+        arrival_rate_per_node=arrival_rate_per_node,
+    )
+    return Simulation(
+        config=config, workload=workload, seed=seed, warmup_ms=warmup_ms
+    )
+
+
+def sweep_goals(goal_range: GoalRange, points: int) -> List[float]:
+    """``points`` goals evenly spaced across the calibrated range."""
+    if points < 1:
+        raise ValueError("need at least one sweep point")
+    low, high = goal_range.goal_min_ms, goal_range.goal_max_ms
+    if points == 1:
+        return [0.5 * (low + high)]
+    step = (high - low) / (points - 1)
+    return [low + i * step for i in range(points)]
+
+
+def run_goal_sweep(
+    goals: Optional[Sequence[float]] = None,
+    points: int = 8,
+    seed: int = 1,
+    replicates: int = 1,
+    intervals: int = 40,
+    skew: float = 0.0,
+    config: Optional[SystemConfig] = None,
+    goal_range: Optional[GoalRange] = None,
+    arrival_rate_per_node: float = 0.02,
+    warmup_ms: float = DEFAULT_WARMUP_MS,
+    jobs: int = 1,
+    runner: str = "auto",
+) -> GoalSweepData:
+    """Sweep the base experiment over fixed response time goals.
+
+    Every sweep point runs the §7.2 setup to ``intervals`` observation
+    intervals under one *fixed* goal.  The goal only reaches the
+    coordinator — never the workload or the caches — so all points of a
+    replicate share one warm-up trajectory, and the warm-state fork
+    server (:mod:`repro.experiments.forkserver`) warms each replicate
+    **once** and forks the points from the warmed image; results are
+    bit-identical to the cold per-point path, which ``runner='cold'``
+    (or any platform without ``os.fork``) still runs via
+    :func:`~repro.experiments.parallel.run_tasks`.  ``goals`` defaults
+    to ``points`` goals evenly spaced across the calibrated range.
+    """
+    from repro.experiments import forkserver
+    from repro.experiments.parallel import derive_replicate_seed, run_tasks
+
+    config = config if config is not None else SystemConfig()
+    if goal_range is None:
+        workload = default_workload(
+            config, skew=skew,
+            arrival_rate_per_node=arrival_rate_per_node,
+        )
+        goal_range = calibrate_goal_range(
+            workload, class_id=1, config=config, seed=seed, jobs=jobs
+        )
+    if goals is None:
+        goals = sweep_goals(goal_range, points)
+    goals = list(goals)
+    seeds = [derive_replicate_seed(seed, i) for i in range(replicates)]
+
+    deltas = [
+        forkserver.WarmDelta.for_goals({1: goal_ms}) for goal_ms in goals
+    ]
+    warm_keys = [s for s in seeds for _ in goals]
+    mode = forkserver.plan_sweep(runner, warm_keys, deltas * len(seeds))
+    data = GoalSweepData(goal_range=goal_range, runner=mode)
+    if mode == "fork":
+        groups = [
+            forkserver.WarmGroup(
+                build=functools.partial(
+                    _build_sweep_sim, config, skew,
+                    arrival_rate_per_node, goals[0], rep_seed, warmup_ms,
+                ),
+                deltas=deltas,
+                measure=functools.partial(
+                    _summarize_goal_point, intervals=intervals
+                ),
+            )
+            for rep_seed in seeds
+        ]
+        for group_points in forkserver.run_warm_groups(
+            groups, jobs=jobs, runner="fork"
+        ):
+            data.points.extend(group_points)
+    else:
+        tasks = [
+            (config, skew, arrival_rate_per_node, goal_ms, rep_seed,
+             warmup_ms, intervals)
+            for rep_seed in seeds
+            for goal_ms in goals
+        ]
+        data.points.extend(
+            run_tasks(_cold_goal_point_task, tasks, jobs=jobs)
+        )
     return data
 
 

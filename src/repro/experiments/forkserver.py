@@ -1,0 +1,427 @@
+"""Warm-state fork server: amortize simulation warm-up across sweep points.
+
+Every sweep in this repository pays a simulated warm-up per point per
+replicate before the controller's feedback loop is even exercised —
+for short-horizon sweeps the dominant share of wall-clock.  The warm-up
+trajectory is, by construction, independent of the response time
+goals, the goal tolerance, and the controller policy knobs: the
+controller only *observes* during warm-up (its agents record arrivals
+and completions), and none of those parameters influence the workload
+generator, the cluster, or any RNG stream before the controller is
+activated.  Sweep points that differ only in such parameters can
+therefore share one warmed simulation.
+
+A warmed :class:`~repro.experiments.runner.Simulation` is not
+picklable — it holds live generator coroutines, the event heap, heat
+trackers, the page directory, and primed RNG streams — so the sharing
+mechanism is ``os.fork()``: the parent process builds and warms the
+simulation **once**, then forks one child per sweep point.  Each child
+continues from the copy-on-write memory image (exact, so results are
+bit-identical to a cold per-point run), applies its point-specific
+:class:`WarmDelta`, runs the measured horizon, and streams its pickled
+result back over a pipe.  ``jobs`` children run concurrently, so fork
+fan-out composes with the process-parallel replication of
+:mod:`repro.experiments.parallel`.
+
+Safety is enforced by a two-stage warm-up-invariance guard:
+
+* **statically** — :func:`plan_sweep` only selects the fork path when
+  every delta is declared warm-up-invariant (the structured
+  :class:`WarmDelta` fields are invariant by construction; arbitrary
+  ``configure`` callables must be vetted with the
+  :func:`warmup_invariant` decorator) and when the sweep actually
+  shares warm state (more than one point per warm key);
+* **at runtime** — :func:`apply_delta` fingerprints the simulation
+  (clock, event-heap occupancy, scheduling sequence, every RNG-stream
+  state) before and after the delta and raises
+  :class:`WarmupInvarianceError` on any perturbation.
+
+On platforms without ``os.fork`` (or when the plan decides the points
+do not share warm state) the same sweeps fall back to the cold
+per-point path — gracefully, never as a failure.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import selectors
+import traceback
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.experiments.parallel import resolve_jobs
+from repro.experiments.runner import Simulation
+
+#: Chunk size for draining child result pipes.
+_PIPE_CHUNK = 1 << 16
+
+
+class WarmupInvarianceError(RuntimeError):
+    """A sweep-point delta touched state that feeds the warm-up."""
+
+
+class ForkUnavailableError(RuntimeError):
+    """``runner='fork'`` was demanded but the fork path cannot run."""
+
+
+def supports_fork() -> bool:
+    """Can this platform run the fork path at all?"""
+    return hasattr(os, "fork") and hasattr(os, "pipe")
+
+
+def warmup_invariant(fn: Callable) -> Callable:
+    """Mark a ``configure`` callable as vetted warm-up-invariant.
+
+    The contract: the callable may mutate controller and coordinator
+    state (goals, tolerances, policy knobs, coordinator subclasses) but
+    must not advance the clock, schedule or cancel events, draw from
+    any RNG stream, or touch the cluster, workload, or generator.  The
+    runtime fingerprint guard verifies the observable half of this.
+    """
+    fn.__warmup_invariant__ = True
+    return fn
+
+
+@dataclass(frozen=True)
+class WarmDelta:
+    """A warm-up-invariant description of one sweep point.
+
+    ``goals`` maps goal class ids to new response time goals (applied
+    via ``controller.set_goal``, which is state-equivalent to having
+    constructed the simulation with that goal because coordinators are
+    untouched during warm-up).  ``tolerance_factory`` replaces every
+    coordinator's goal tolerance.  ``configure`` is an escape hatch for
+    controller-policy deltas (e.g. swapping in baseline coordinators);
+    it must be vetted with :func:`warmup_invariant` or the planner
+    refuses to fork.  ``tag`` is an opaque label carried through for
+    the caller's bookkeeping.
+    """
+
+    goals: Tuple[Tuple[int, float], ...] = ()
+    tolerance_factory: Optional[Callable[[], Any]] = None
+    configure: Optional[Callable[[Simulation], None]] = None
+    tag: Any = None
+
+    @staticmethod
+    def for_goals(goals: Mapping[int, float], **kwargs) -> "WarmDelta":
+        """Delta that re-targets the given goal classes."""
+        return WarmDelta(goals=tuple(sorted(goals.items())), **kwargs)
+
+    @property
+    def statically_invariant(self) -> bool:
+        """True when every field is warm-up-invariant by construction."""
+        return self.configure is None or bool(
+            getattr(self.configure, "__warmup_invariant__", False)
+        )
+
+
+def _measure_nothing(sim: Simulation) -> None:
+    """Default measure: discard the simulation and return nothing."""
+    return None
+
+
+@dataclass
+class WarmGroup:
+    """One warm-state group: points sharing a single warmed parent.
+
+    ``build`` constructs the (un-warmed) :class:`Simulation` shared by
+    all points of the group; ``deltas`` are the per-point adjustments;
+    ``measure`` runs the measured horizon on the (warmed, adjusted)
+    simulation and returns a **picklable** result — it crosses a pipe
+    on the fork path and a process boundary on parallel cold paths.
+    """
+
+    build: Callable[[], Simulation]
+    deltas: Sequence[WarmDelta] = field(default_factory=list)
+    measure: Callable[[Simulation], Any] = _measure_nothing
+
+
+# -- the warm-up-invariance guard ------------------------------------
+
+
+def warm_fingerprint(sim: Simulation) -> tuple:
+    """Snapshot of everything a warm-up-invariant delta must not touch.
+
+    Covers the simulation clock, the event-heap occupancy, the global
+    scheduling sequence counter, and the exact state of every named RNG
+    stream.  Any delta that advances time, schedules events, or draws
+    randomness changes this fingerprint.
+    """
+    env = sim.env
+    streams = sim.cluster.rng._streams
+    return (
+        env._now,
+        len(env._queue),
+        env._seq,
+        tuple(sorted(
+            (name, stream.getstate())
+            for name, stream in streams.items()
+        )),
+    )
+
+
+def apply_delta(
+    sim: Simulation, delta: WarmDelta, guard: bool = True
+) -> None:
+    """Apply a sweep-point delta to a warmed, not-yet-active simulation.
+
+    Raises :class:`WarmupInvarianceError` when the simulation is in the
+    wrong phase (warm-up must precede controller activation — a delta
+    after activation could never have produced a cold-path-identical
+    run) or when applying the delta perturbs the warm fingerprint.
+    """
+    if sim.active:
+        raise WarmupInvarianceError(
+            "sweep-point delta applied after controller activation; "
+            "deltas must land between warm() and activate()"
+        )
+    if not sim.warmed:
+        raise WarmupInvarianceError(
+            "sweep-point delta applied before warm-up; warm() first so "
+            "the guard can certify the delta against the warmed state"
+        )
+    before = warm_fingerprint(sim) if guard else None
+    for class_id, goal_ms in delta.goals:
+        sim.controller.set_goal(class_id, goal_ms)
+    if delta.tolerance_factory is not None:
+        for coordinator in sim.controller.coordinators.values():
+            coordinator.tolerance = delta.tolerance_factory()
+    if delta.configure is not None:
+        delta.configure(sim)
+    if guard and warm_fingerprint(sim) != before:
+        raise WarmupInvarianceError(
+            "sweep-point delta perturbed warm state (clock, event "
+            "heap, or an RNG stream); it would not reproduce the "
+            "cold-path run and cannot be forked"
+        )
+
+
+# -- planning ---------------------------------------------------------
+
+
+def plan_sweep(
+    runner: str,
+    warm_keys: Sequence,
+    deltas: Optional[Sequence[WarmDelta]] = None,
+) -> str:
+    """Resolve ``runner`` ('auto' | 'fork' | 'cold') to a concrete mode.
+
+    ``warm_keys`` carries one hashable key per sweep point; points
+    share a warmed parent exactly when their keys are equal.  The fork
+    path is selected only when the platform supports ``os.fork``, at
+    least one key occurs more than once (otherwise there is no warm-up
+    to amortize), and every delta is statically warm-up-invariant.
+    ``runner='fork'`` raises :class:`ForkUnavailableError` instead of
+    silently degrading; ``'auto'`` falls back to ``'cold'``.
+    """
+    if runner not in ("auto", "fork", "cold"):
+        raise ValueError(f"unknown runner {runner!r}")
+    if runner == "cold":
+        return "cold"
+    reason = None
+    if not supports_fork():
+        reason = "platform has no os.fork"
+    elif deltas is not None and not all(
+        d.statically_invariant for d in deltas
+    ):
+        reason = (
+            "a delta carries a configure callable not vetted with "
+            "@warmup_invariant"
+        )
+    else:
+        keys = list(warm_keys)
+        if len(keys) == len(set(keys)):
+            reason = (
+                "no two sweep points share a warm key, so there is no "
+                "warm-up to amortize (e.g. every replicate has its own "
+                "seed)"
+            )
+    if reason is None:
+        return "fork"
+    if runner == "fork":
+        raise ForkUnavailableError(f"fork runner unavailable: {reason}")
+    return "cold"
+
+
+# -- execution --------------------------------------------------------
+
+
+def _run_cold_point(
+    build: Callable[[], Simulation],
+    delta: WarmDelta,
+    measure: Callable[[Simulation], Any],
+) -> Any:
+    """The cold per-point path: fresh simulation, same delta contract."""
+    sim = build()
+    sim.warm()
+    apply_delta(sim, delta)
+    return measure(sim)
+
+
+def _child_main(
+    write_fd: int,
+    sim: Simulation,
+    delta: WarmDelta,
+    measure: Callable[[Simulation], Any],
+) -> None:
+    """Body of a forked sweep-point child; never returns.
+
+    The child continues from the parent's warmed memory image, applies
+    its delta, runs the measured horizon, and pickles the result back.
+    Failures travel the same pipe as a (kind, traceback) payload so the
+    parent can re-raise with full context.  ``os._exit`` skips atexit
+    handlers and buffer flushes that belong to the parent.
+    """
+    try:
+        try:
+            apply_delta(sim, delta)
+            payload = pickle.dumps(
+                ("ok", measure(sim)), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except WarmupInvarianceError as exc:
+            payload = pickle.dumps(("invariance", str(exc)))
+        except BaseException:
+            payload = pickle.dumps(("error", traceback.format_exc()))
+        written = 0
+        while written < len(payload):
+            written += os.write(write_fd, payload[written:])
+        os.close(write_fd)
+    finally:
+        os._exit(0)
+
+
+def _fork_group(
+    sim: Simulation,
+    deltas: Sequence[WarmDelta],
+    measure: Callable[[Simulation], Any],
+    jobs: int,
+) -> List[Any]:
+    """Fork one child per delta off the warmed ``sim``, ``jobs`` at a time.
+
+    Results are slotted by point index, never by completion order, so
+    the returned list is independent of scheduling — the same contract
+    as :func:`repro.experiments.parallel.run_tasks`.  Pipes are drained
+    while children run (a child producing more than the pipe buffer
+    would otherwise deadlock against a parent waiting on exit).
+    """
+    results: List[Any] = [None] * len(deltas)
+    sel = selectors.DefaultSelector()
+    pending: dict = {}  # read fd -> (index, pid, bytearray)
+
+    def reap(fd: int) -> None:
+        index, pid, buf = pending.pop(fd)
+        sel.unregister(fd)
+        os.close(fd)
+        _, status = os.waitpid(pid, 0)
+        if not buf:
+            raise RuntimeError(
+                f"forked sweep point {index} died without a result "
+                f"(wait status {status})"
+            )
+        kind, value = pickle.loads(bytes(buf))
+        if kind == "invariance":
+            raise WarmupInvarianceError(value)
+        if kind == "error":
+            raise RuntimeError(
+                f"forked sweep point {index} failed:\n{value}"
+            )
+        results[index] = value
+
+    def drain_once() -> None:
+        for key, _ in sel.select():
+            fd = key.fd
+            chunk = os.read(fd, _PIPE_CHUNK)
+            if chunk:
+                pending[fd][2].extend(chunk)
+            else:
+                reap(fd)
+
+    try:
+        for index, delta in enumerate(deltas):
+            while len(pending) >= jobs:
+                drain_once()
+            read_fd, write_fd = os.pipe()
+            pid = os.fork()
+            if pid == 0:
+                os.close(read_fd)
+                # Inherited read ends of sibling pipes are harmless for
+                # the parent's EOF detection (that hangs off the write
+                # ends), and os._exit drops them with the process.
+                _child_main(write_fd, sim, delta, measure)
+            os.close(write_fd)
+            pending[read_fd] = (index, pid, bytearray())
+            sel.register(read_fd, selectors.EVENT_READ)
+        while pending:
+            drain_once()
+    finally:
+        for fd, (_, pid, _) in list(pending.items()):
+            sel.unregister(fd)
+            os.close(fd)
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass
+        pending.clear()
+        sel.close()
+    return results
+
+
+def run_warm_groups(
+    groups: Sequence[WarmGroup],
+    jobs: int = 1,
+    runner: str = "auto",
+) -> List[List[Any]]:
+    """Run every warm group, forking within groups of more than one point.
+
+    Each group warms its parent simulation once; its points then run as
+    copy-on-write forks, up to ``jobs`` concurrently.  Singleton groups
+    (nothing to amortize) and ``runner='cold'`` use the cold per-point
+    path, which applies the *same* delta contract to a fresh simulation
+    — so the two paths are bit-identical by construction and every
+    group returns its results in point order.
+    """
+    jobs = resolve_jobs(jobs)
+    warm_keys = [
+        key for key, group in enumerate(groups) for _ in group.deltas
+    ]
+    deltas = [delta for group in groups for delta in group.deltas]
+    mode = plan_sweep(runner, warm_keys, deltas)
+    results: List[List[Any]] = []
+    for group in groups:
+        if mode == "cold" or len(group.deltas) <= 1:
+            results.append([
+                _run_cold_point(group.build, delta, group.measure)
+                for delta in group.deltas
+            ])
+            continue
+        sim = group.build()
+        sim.warm()
+        results.append(
+            _fork_group(sim, group.deltas, group.measure, jobs)
+        )
+    return results
+
+
+def run_warm_sweep(
+    build: Callable[[], Simulation],
+    deltas: Sequence[WarmDelta],
+    measure: Callable[[Simulation], Any],
+    jobs: int = 1,
+    runner: str = "auto",
+) -> List[Any]:
+    """Single-group convenience wrapper around :func:`run_warm_groups`."""
+    [results] = run_warm_groups(
+        [WarmGroup(build=build, deltas=list(deltas), measure=measure)],
+        jobs=jobs,
+        runner=runner,
+    )
+    return results

@@ -21,13 +21,14 @@ Run standalone::
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.config import NodeParameters, SystemConfig
 from repro.experiments.parallel import run_tasks
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import Simulation
+from repro.experiments.runner import DEFAULT_WARMUP_MS, Simulation
 from repro.workload.spec import (
     ClassSpec,
     WorkloadSpec,
@@ -137,6 +138,7 @@ def run_sharing_point(
     tail: int = 20,
     config: Optional[SystemConfig] = None,
     skew: float = 0.0,
+    warmup_ms: float = DEFAULT_WARMUP_MS,
 ) -> SharingPoint:
     """Run one sharing fraction to steady state and summarize the tail."""
     config = (
@@ -146,8 +148,17 @@ def run_sharing_point(
         config, goal1_ms, goal2_ms, sharing=sharing, skew=skew
     )
     sim = Simulation(
-        config=config, workload=workload, seed=seed, warmup_ms=20_000.0
+        config=config, workload=workload, seed=seed, warmup_ms=warmup_ms
     )
+    return _summarize_sharing_point(
+        sim, sharing=sharing, intervals=intervals, tail=tail
+    )
+
+
+def _summarize_sharing_point(
+    sim: Simulation, sharing: float, intervals: int, tail: int
+) -> SharingPoint:
+    """Run the measured horizon and summarize the tail of one point."""
     sim.run(intervals=intervals)
 
     def tail_mean(values: Sequence[float]) -> float:
@@ -156,6 +167,8 @@ def run_sharing_point(
 
     s1 = sim.controller.series[1]
     s2 = sim.controller.series[2]
+    goal1_ms = sim.controller.goal_of(1)
+    goal2_ms = sim.controller.goal_of(2)
 
     def goal_met(series, goal_ms):
         flags = [
@@ -186,17 +199,184 @@ def _sharing_point_task(task) -> SharingPoint:
 def run_sharing_sweep(
     sharings: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
     jobs: int = 1,
+    runner: str = "auto",
     **kwargs,
 ) -> MulticlassResult:
     """The full §7.4(b) sweep over sharing fractions.
 
-    The sharing points are independent simulations, so ``jobs`` runs
-    them on worker processes; results keep the order of ``sharings``.
+    The sharing fraction reshapes k2's page set, which feeds the
+    workload generator *during warm-up* — so sharing points never share
+    warm state and the fork-server planner
+    (:func:`repro.experiments.forkserver.plan_sweep`) always resolves
+    this sweep to the cold per-point path: independent simulations
+    farmed to worker processes by ``jobs``, in ``sharings`` order.
+    (Contrast :func:`run_goal_sweep`, whose points fork off one warmed
+    image.)  ``runner='fork'`` therefore raises; pass ``'auto'``.
     """
+    from repro.experiments.forkserver import plan_sweep
+
+    # One distinct warm key per sharing fraction: the plan documents
+    # (and enforces) that there is nothing to amortize here.
+    plan_sweep(runner, warm_keys=list(sharings))
     tasks = [(sharing, kwargs) for sharing in sharings]
     result = MulticlassResult()
     result.points.extend(run_tasks(_sharing_point_task, tasks, jobs=jobs))
     return result
+
+
+# -- the goal-pair sweep ----------------------------------------------
+
+
+@dataclass
+class GoalPairPoint:
+    """Steady-state outcome for one (goal k1, goal k2) pair."""
+
+    goal1_ms: float
+    goal2_ms: float
+    point: SharingPoint
+
+    def to_row(self) -> list:
+        """The point as one row of the sweep table."""
+        p = self.point
+        return [
+            self.goal1_ms,
+            self.goal2_ms,
+            int(p.dedicated_k1_bytes),
+            int(p.dedicated_k2_bytes),
+            p.goal_met_k1,
+            p.goal_met_k2,
+            p.observed_rt_k1,
+            p.observed_rt_k2,
+        ]
+
+
+@dataclass
+class MulticlassGoalSweep:
+    """A sweep over goal pairs at a fixed sharing fraction."""
+
+    sharing: float
+    runner: str
+    points: List[GoalPairPoint] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Render the sweep as an aligned text table."""
+        return format_table(
+            ["goal k1 (ms)", "goal k2 (ms)", "dedicated k1 (B)",
+             "dedicated k2 (B)", "goal met k1", "goal met k2",
+             "rt k1 (ms)", "rt k2 (ms)"],
+            [p.to_row() for p in self.points],
+            title=(
+                f"Section 7.4 goal-pair sweep (sharing "
+                f"{self.sharing:.2f}, {self.runner} runner)"
+            ),
+        )
+
+
+def _build_goal_pair_sim(
+    config: SystemConfig,
+    goal1_ms: float,
+    goal2_ms: float,
+    sharing: float,
+    skew: float,
+    seed: int,
+    warmup_ms: float,
+) -> Simulation:
+    workload = multiclass_workload(
+        config, goal1_ms, goal2_ms, sharing=sharing, skew=skew
+    )
+    return Simulation(
+        config=config, workload=workload, seed=seed, warmup_ms=warmup_ms
+    )
+
+
+def _measure_goal_pair(
+    sim: Simulation, sharing: float, intervals: int, tail: int
+) -> GoalPairPoint:
+    point = _summarize_sharing_point(
+        sim, sharing=sharing, intervals=intervals, tail=tail
+    )
+    return GoalPairPoint(
+        goal1_ms=sim.controller.goal_of(1),
+        goal2_ms=sim.controller.goal_of(2),
+        point=point,
+    )
+
+
+def _cold_goal_pair_task(task) -> GoalPairPoint:
+    """One cold goal pair (module-level: picklable for ``jobs>1``)."""
+    (config, goal1_ms, goal2_ms, sharing, skew, seed, warmup_ms,
+     intervals, tail) = task
+    sim = _build_goal_pair_sim(
+        config, goal1_ms, goal2_ms, sharing, skew, seed, warmup_ms
+    )
+    sim.warm()
+    return _measure_goal_pair(
+        sim, sharing=sharing, intervals=intervals, tail=tail
+    )
+
+
+def run_goal_sweep(
+    goal_pairs: Sequence[Tuple[float, float]] = (
+        (3.0, 8.0), (4.0, 10.0), (5.0, 12.0), (6.0, 14.0),
+    ),
+    sharing: float = 0.0,
+    seed: int = 7,
+    intervals: int = 60,
+    tail: int = 20,
+    config: Optional[SystemConfig] = None,
+    skew: float = 0.0,
+    warmup_ms: float = DEFAULT_WARMUP_MS,
+    jobs: int = 1,
+    runner: str = "auto",
+) -> MulticlassGoalSweep:
+    """Sweep the §7.4 system over (goal k1, goal k2) pairs.
+
+    Goals feed only the coordinators, never the warm-up, so every pair
+    shares one warmed simulation: the fork server warms once per sweep
+    and forks the pairs from the warmed image (``runner='cold'`` and
+    non-fork platforms run independent per-pair simulations instead —
+    bit-identical results either way).
+    """
+    from repro.experiments import forkserver
+
+    config = doubled_cache_config() if config is None else config
+    goal_pairs = [tuple(pair) for pair in goal_pairs]
+    for goal1_ms, goal2_ms in goal_pairs:
+        if goal1_ms >= goal2_ms:
+            raise ValueError("the paper requires goal(k1) < goal(k2)")
+    deltas = [
+        forkserver.WarmDelta.for_goals({1: goal1_ms, 2: goal2_ms})
+        for goal1_ms, goal2_ms in goal_pairs
+    ]
+    mode = forkserver.plan_sweep(
+        runner, warm_keys=[seed] * len(goal_pairs), deltas=deltas
+    )
+    sweep = MulticlassGoalSweep(sharing=sharing, runner=mode)
+    if mode == "fork":
+        base1, base2 = goal_pairs[0]
+        sweep.points.extend(forkserver.run_warm_sweep(
+            build=functools.partial(
+                _build_goal_pair_sim, config, base1, base2, sharing,
+                skew, seed, warmup_ms,
+            ),
+            deltas=deltas,
+            measure=functools.partial(
+                _measure_goal_pair, sharing=sharing,
+                intervals=intervals, tail=tail,
+            ),
+            jobs=jobs,
+            runner="fork",
+        ))
+    else:
+        tasks = [
+            (config, goal1_ms, goal2_ms, sharing, skew, seed,
+             warmup_ms, intervals, tail)
+            for goal1_ms, goal2_ms in goal_pairs
+        ]
+        sweep.points.extend(
+            run_tasks(_cold_goal_pair_task, tasks, jobs=jobs)
+        )
+    return sweep
 
 
 def main() -> None:

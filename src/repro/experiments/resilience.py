@@ -32,12 +32,16 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.cluster.config import NodeParameters, SystemConfig
 from repro.experiments.parallel import derive_replicate_seed, run_tasks
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import Simulation, default_workload
+from repro.experiments.runner import (
+    RESILIENCE_WARMUP_MS,
+    Simulation,
+    default_workload,
+)
 
 #: Class id of the goal class in the base workload.
 GOAL_CLASS = 1
@@ -107,6 +111,8 @@ class ResilienceReplicate:
     """One seeded run under the fault schedule."""
 
     seed: int
+    #: Response time goal of the run (recorded for goal sweeps).
+    goal_ms: float = 0.0
     intervals: List[int] = field(default_factory=list)
     observed_rt: List[float] = field(default_factory=list)
     goal: List[float] = field(default_factory=list)
@@ -288,30 +294,38 @@ def _recovery_metrics(
     return outcomes
 
 
-def _resilience_replicate(
+def _build_resilience_sim(
     config: SystemConfig,
     goal_ms: float,
-    intervals: int,
     warmup_ms: float,
     fault_spec: str,
     arrival_rate_per_node: float,
     seed: int,
-) -> ResilienceReplicate:
-    """One seeded resilience run (module-level: picklable for jobs>1)."""
+) -> Simulation:
+    """Assemble one seeded resilience simulation (not yet warmed)."""
     workload = default_workload(
         config, goal_ms=goal_ms,
         arrival_rate_per_node=arrival_rate_per_node,
     )
-    sim = Simulation(
+    return Simulation(
         config=config, workload=workload, seed=seed,
         warmup_ms=warmup_ms, faults=fault_spec,
     )
+
+
+def _measure_resilience(
+    sim: Simulation, intervals: int
+) -> ResilienceReplicate:
+    """Run the measured horizon and extract the recovery metrics."""
     sim.run(intervals=intervals)
 
     controller = sim.controller
     coordinator = controller.coordinators[GOAL_CLASS]
     records = coordinator.decision_log
-    rep = ResilienceReplicate(seed=seed)
+    rep = ResilienceReplicate(
+        seed=sim.cluster.rng.seed,
+        goal_ms=controller.goal_of(GOAL_CLASS),
+    )
     total_area = 0.0
     for i, record in enumerate(records):
         rep.intervals.append(i + 1)
@@ -337,6 +351,23 @@ def _resilience_replicate(
     return rep
 
 
+def _resilience_replicate(
+    config: SystemConfig,
+    goal_ms: float,
+    intervals: int,
+    warmup_ms: float,
+    fault_spec: str,
+    arrival_rate_per_node: float,
+    seed: int,
+) -> ResilienceReplicate:
+    """One seeded resilience run (module-level: picklable for jobs>1)."""
+    sim = _build_resilience_sim(
+        config, goal_ms, warmup_ms, fault_spec,
+        arrival_rate_per_node, seed,
+    )
+    return _measure_resilience(sim, intervals)
+
+
 def run_resilience(
     seed: int = 0,
     intervals: int = 90,
@@ -344,7 +375,7 @@ def run_resilience(
     goal_ms: float = 6.0,
     faults: Optional[str] = None,
     replications: int = 2,
-    warmup_ms: float = 10_000.0,
+    warmup_ms: float = RESILIENCE_WARMUP_MS,
     arrival_rate_per_node: float = 0.02,
     jobs: int = 1,
 ) -> ResilienceData:
@@ -354,7 +385,10 @@ def run_resilience(
     None the :func:`default_fault_spec` scaled to the horizon is used.
     ``config`` defaults to the full §7.1 environment; pass
     :func:`quick_config` for smoke runs.  ``jobs`` parallelizes
-    replicates with bit-identical results.
+    replicates with bit-identical results.  (Replicates never share a
+    warm-up trajectory — every replicate has its own seed — so this
+    protocol stays on the cold per-replicate path; the warm-state fork
+    server amortizes :func:`run_goal_sweep` instead.)
     """
     config = config if config is not None else SystemConfig()
     if faults is None:
@@ -374,6 +408,139 @@ def run_resilience(
         goal_ms=goal_ms,
         interval_ms=config.observation_interval_ms,
         replicates=replicates,
+    )
+
+
+@dataclass
+class ResilienceGoalSweep:
+    """Recovery metrics as a function of goal tightness.
+
+    One :class:`ResilienceData` per swept goal, all under the *same*
+    fault schedule and seeds — with the fork runner, literally the same
+    warmed memory image per replicate, so differences between goals are
+    purely the controller's doing.
+    """
+
+    fault_spec: str
+    runner: str
+    results: List[ResilienceData] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Summary table: recovery metrics per swept goal."""
+        rows = []
+        for data in self.results:
+            mean_re = data.mean_reattainment_intervals()
+            rows.append([
+                data.goal_ms,
+                len(data.replicates),
+                "n/a" if mean_re is None else round(mean_re, 1),
+                round(data.mean_violation_area(), 2),
+                data.all_crashes_reattained(),
+            ])
+        return format_table(
+            ["goal_ms", "replicates", "mean reattain (intervals)",
+             "violation (ms*s)", "all crashes reattained"],
+            rows,
+            title=f"Resilience goal sweep ({self.runner} runner)",
+        )
+
+
+def run_goal_sweep(
+    goals: Sequence[float] = (4.0, 6.0, 8.0),
+    seed: int = 0,
+    intervals: int = 90,
+    config: Optional[SystemConfig] = None,
+    faults: Optional[str] = None,
+    replications: int = 1,
+    warmup_ms: float = RESILIENCE_WARMUP_MS,
+    arrival_rate_per_node: float = 0.02,
+    jobs: int = 1,
+    runner: str = "auto",
+) -> ResilienceGoalSweep:
+    """Measure recovery under the same fault schedule at several goals.
+
+    The default schedule injects every fault *after* the warm-up
+    horizon and the goal never reaches the workload or the fault
+    injector, so all goals of a replicate share one warmed image: the
+    fork server warms (workload **and** armed injector) once per
+    replicate seed and forks the goal points from it.  The cold path
+    (``runner='cold'`` or platforms without ``os.fork``) runs one
+    simulation per (goal, seed) via
+    :func:`~repro.experiments.parallel.run_tasks` — bit-identical.
+    """
+    from repro.experiments import forkserver
+
+    config = config if config is not None else SystemConfig()
+    goals = list(goals)
+    if faults is None:
+        faults = default_fault_spec(
+            intervals, config.observation_interval_ms, warmup_ms
+        )
+    seeds = [
+        derive_replicate_seed(seed, i) for i in range(replications)
+    ]
+    deltas = [
+        forkserver.WarmDelta.for_goals({GOAL_CLASS: goal_ms})
+        for goal_ms in goals
+    ]
+    mode = forkserver.plan_sweep(
+        runner,
+        warm_keys=[s for s in seeds for _ in goals],
+        deltas=deltas * len(seeds),
+    )
+    if mode == "fork":
+        groups = [
+            forkserver.WarmGroup(
+                build=functools.partial(
+                    _build_resilience_sim, config, goals[0], warmup_ms,
+                    faults, arrival_rate_per_node, rep_seed,
+                ),
+                deltas=deltas,
+                measure=functools.partial(
+                    _measure_resilience, intervals=intervals
+                ),
+            )
+            for rep_seed in seeds
+        ]
+        # One warmed parent per replicate seed; replicate-major lists
+        # of per-goal results come back in point order.
+        per_seed = forkserver.run_warm_groups(
+            groups, jobs=jobs, runner="fork"
+        )
+        by_goal = [
+            [per_seed[s][g] for s in range(len(seeds))]
+            for g in range(len(goals))
+        ]
+    else:
+        tasks = [
+            (config, goal_ms, intervals, warmup_ms, faults,
+             arrival_rate_per_node, rep_seed)
+            for goal_ms in goals
+            for rep_seed in seeds
+        ]
+        flat = run_tasks(_resilience_goal_task, tasks, jobs=jobs)
+        by_goal = [
+            flat[g * len(seeds):(g + 1) * len(seeds)]
+            for g in range(len(goals))
+        ]
+    sweep = ResilienceGoalSweep(fault_spec=faults, runner=mode)
+    for goal_ms, replicates in zip(goals, by_goal):
+        sweep.results.append(ResilienceData(
+            fault_spec=faults,
+            goal_ms=goal_ms,
+            interval_ms=config.observation_interval_ms,
+            replicates=replicates,
+        ))
+    return sweep
+
+
+def _resilience_goal_task(task) -> ResilienceReplicate:
+    """One cold goal-sweep point (module-level: picklable)."""
+    (config, goal_ms, intervals, warmup_ms, fault_spec,
+     arrival_rate_per_node, seed) = task
+    return _resilience_replicate(
+        config, goal_ms, intervals, warmup_ms, fault_spec,
+        arrival_rate_per_node, seed,
     )
 
 

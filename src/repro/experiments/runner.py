@@ -19,6 +19,18 @@ from repro.core.controller import GoalOrientedController
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.spec import ClassSpec, WorkloadSpec, partition_pages
 
+#: Shared simulated warm-up horizons (ms).  Every experiment warms the
+#: caches before its controller starts reacting; these constants pin
+#: the historical values in one place instead of scattered literals.
+#: The discrepancy is deliberate and documented: the goal-range
+#: calibration (§7.3) wants a fully steady cache under a *static*
+#: allocation, so it warms 3x longer than the feedback experiments,
+#: while the resilience study inherited a shorter warm-up because its
+#: scaled-down quick config reaches steady state faster.
+DEFAULT_WARMUP_MS = 20_000.0
+CALIBRATION_WARMUP_MS = 60_000.0
+RESILIENCE_WARMUP_MS = 10_000.0
+
 
 class Simulation:
     """A runnable goal-oriented buffer management experiment."""
@@ -69,25 +81,56 @@ class Simulation:
                 faults = FaultSchedule.parse(faults)
             self.fault_injector = FaultInjector(self.cluster, faults)
         self.warmup_ms = warmup_ms
+        self._warmed = False
         self._started = False
         self._controller_t0 = 0.0
         self._intervals_requested = 0
 
     # -- running -------------------------------------------------------
 
-    def start(self) -> None:
-        """Start workload and controller processes (idempotent)."""
-        if self._started:
+    def warm(self) -> None:
+        """Run the warm-up phase: workload (and faults) without control.
+
+        Starts the generator and fault injector and advances the clock
+        to ``warmup_ms`` so the caches warm before the controller ever
+        reacts.  Idempotent.  This is the fork point of the warm-state
+        fork server (:mod:`repro.experiments.forkserver`): everything
+        up to here is by construction independent of the response time
+        goals, tolerances, and controller policy knobs, so sweep points
+        that differ only in those can share one warmed memory image.
+        """
+        if self._warmed:
             return
-        self._started = True
+        self._warmed = True
         self.generator.start()
         if self.fault_injector is not None:
             self.fault_injector.start()
         if self.warmup_ms > 0:
             # Let caches warm before the controller starts reacting.
             self.cluster.env.run(until=self.warmup_ms)
+
+    def activate(self) -> None:
+        """Start the controller's feedback loop (idempotent)."""
+        if self._started:
+            return
+        self._started = True
         self.controller.start()
         self._controller_t0 = self.cluster.env.now
+
+    def start(self) -> None:
+        """Start workload and controller processes (idempotent)."""
+        self.warm()
+        self.activate()
+
+    @property
+    def warmed(self) -> bool:
+        """True once the warm-up phase has run."""
+        return self._warmed
+
+    @property
+    def active(self) -> bool:
+        """True once the controller's feedback loop has started."""
+        return self._started
 
     def run(self, intervals: int) -> None:
         """Advance the simulation by ``intervals`` observation intervals.

@@ -39,12 +39,17 @@ def run_table2(
     max_replications: int = 12,
     base_seed: int = 100,
     jobs: int = 1,
+    runner: str = "auto",
 ) -> List[ConvergenceResult]:
     """Measure convergence speed for every skew value.
 
     ``jobs`` parallelizes the replicates *within* each skew point; the
     sequential stopping rule is unchanged, so results are identical to
-    ``jobs=1`` for any value.
+    ``jobs=1`` for any value.  Skew reshapes the page-access
+    distribution during warm-up and every replicate is independently
+    seeded, so there is no warm state to share — ``runner`` is passed
+    down to :func:`convergence_experiment`, whose planner always
+    resolves this protocol to the cold path (``runner='fork'`` raises).
     """
     settings = settings if settings is not None else ConvergenceSettings()
     results = []
@@ -55,6 +60,7 @@ def run_table2(
             max_replications=max_replications,
             base_seed=base_seed,
             jobs=jobs,
+            runner=runner,
         )
         results.append(result)
     return results

@@ -39,12 +39,48 @@ def test_derive_replicate_seed_matches_serial_contract():
     ]
 
 
+def test_derive_replicate_seed_golden_values():
+    # Pinned goldens: any change to the derivation silently reseeds
+    # every replicated experiment in the repository.
+    assert derive_replicate_seed(0, 0) == 0
+    assert derive_replicate_seed(0, 9) == 9
+    assert derive_replicate_seed(7, 5) == 12
+    assert derive_replicate_seed(1_000_000, 3) == 1_000_003
+
+
 def test_resolve_jobs_validates():
     assert resolve_jobs(1) == 1
     assert resolve_jobs(3) == 3
     assert resolve_jobs(0) >= 1  # auto: all cores
     with pytest.raises(ValueError):
         resolve_jobs(-1)
+    with pytest.raises(ValueError):
+        resolve_jobs(-32)
+
+
+def test_resolve_jobs_auto_caps_at_worker_bound(monkeypatch):
+    import os
+
+    from repro.experiments import parallel
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 4096)
+    assert parallel.resolve_jobs(0) == parallel.MAX_AUTO_JOBS
+    monkeypatch.setattr(os, "cpu_count", lambda: 2)
+    assert parallel.resolve_jobs(0) == 2
+
+
+def test_resolve_jobs_auto_survives_unknown_cpu_count(monkeypatch):
+    import os
+
+    monkeypatch.setattr(os, "cpu_count", lambda: None)
+    assert resolve_jobs(0) == 1
+
+
+def test_resolve_jobs_explicit_values_are_not_capped():
+    # Only the auto path is bounded; an explicit request is honoured.
+    from repro.experiments.parallel import MAX_AUTO_JOBS
+
+    assert resolve_jobs(MAX_AUTO_JOBS + 8) == MAX_AUTO_JOBS + 8
 
 
 def test_run_tasks_serial_and_parallel_agree():
