@@ -48,6 +48,9 @@ SCALING_REPORT_PATH = (
 SWEEP_REPORT_PATH = (
     Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
 )
+TELEMETRY_REPORT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
+)
 
 #: Pre-change reference times (seconds, best of 5) for this machine.
 BASELINE_SECONDS = {
@@ -387,6 +390,124 @@ def build_sweep_report() -> dict:
     }
 
 
+def bench_page_access_telemetry(attached: bool, repeats: int) -> float:
+    """The data-shipping access path with telemetry off or attached.
+
+    ``attached=False`` measures the disabled cost: the hot paths pay
+    one ``None`` attribute check per access, nothing else.
+    ``attached=True`` wires a full metrics/trace pipeline to the
+    cluster, so every access records a counter and a latency
+    histogram sample.
+    """
+
+    def setup():
+        cluster = Cluster(SystemConfig(num_pages=500), seed=0)
+        if attached:
+            from repro.telemetry import attach_cluster
+
+            attach_cluster(cluster)
+        return cluster
+
+    def run(cluster):
+        def proc():
+            for i in range(ACCESS_COUNT):
+                yield from cluster.access_page(
+                    i % 3, (i * 7) % 500, class_id=0
+                )
+
+        cluster.env.process(proc())
+        cluster.env.run()
+
+    return best_of(setup, run, repeats)
+
+
+def bench_figure2_telemetry(enabled: bool) -> float:
+    """Best-of-3 wall clock of the short figure-2 run, on or off.
+
+    With ``enabled`` the module-level flag arms the full pipeline
+    (metrics + trace, no file exports), the way ``--telemetry``
+    instruments a real experiment run.
+    """
+    import repro.telemetry as telemetry_mod
+
+    best = float("inf")
+    for _ in range(3):
+        if enabled:
+            telemetry_mod.enable()
+        try:
+            best = min(best, bench_figure2_wallclock())
+        finally:
+            telemetry_mod.disable()
+    return best
+
+
+def build_telemetry_report(repeats: int) -> dict:
+    """Telemetry overhead: off must be free, on must stay cheap.
+
+    Off and on are measured interleaved in the same process so machine
+    noise hits both sides equally; the headline numbers are the ratios,
+    not the absolute seconds.  Three levels:
+
+    - ``event_throughput``: the kernel control.  Telemetry has no
+      event-loop hooks, so disabled *and* enabled must both match the
+      substrate baseline.
+    - ``page_access_*``: the worst-case microcost — a hit-dominated
+      access path doing almost no other work, so the per-access
+      counter + histogram sample shows at full relative size.
+    - ``figure2_short_*``: the end-to-end cost of a fully enabled
+      pipeline on a real controller run, the number ``--telemetry``
+      users actually pay.
+    """
+    import repro.telemetry as telemetry_mod
+
+    events_off = bench_event_throughput(repeats)
+    telemetry_mod.enable()
+    try:
+        events_on = bench_event_throughput(repeats)
+    finally:
+        telemetry_mod.disable()
+    off = bench_page_access_telemetry(False, repeats)
+    on = bench_page_access_telemetry(True, repeats)
+    fig_off = bench_figure2_telemetry(False)
+    fig_on = bench_figure2_telemetry(True)
+    event_baseline = BASELINE_SECONDS["event_throughput"]
+    benchmarks = {
+        "event_throughput_disabled": {
+            "seconds": round(events_off, 6),
+            "ops_per_s": round(EVENT_COUNT / events_off),
+            "baseline_seconds": event_baseline,
+            "vs_baseline": round(events_off / event_baseline, 3),
+        },
+        "event_throughput_enabled": {
+            "seconds": round(events_on, 6),
+            "ops_per_s": round(EVENT_COUNT / events_on),
+            "baseline_seconds": event_baseline,
+            "vs_baseline": round(events_on / event_baseline, 3),
+            "vs_disabled": round(events_on / events_off, 3),
+        },
+        "page_access_telemetry_off": {
+            "seconds": round(off, 6),
+            "us_per_access": round(off / ACCESS_COUNT * 1e6, 2),
+        },
+        "page_access_telemetry_on": {
+            "seconds": round(on, 6),
+            "us_per_access": round(on / ACCESS_COUNT * 1e6, 2),
+            "overhead_fraction": round(on / off - 1.0, 3),
+        },
+        "figure2_short_off": {"seconds": round(fig_off, 6)},
+        "figure2_short_on": {
+            "seconds": round(fig_on, 6),
+            "overhead_fraction": round(fig_on / fig_off - 1.0, 3),
+        },
+    }
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "benchmarks": benchmarks,
+    }
+
+
 def build_report(repeats: int) -> dict:
     benchmarks = {}
 
@@ -441,13 +562,24 @@ def main(argv=None) -> None:
              f"{SWEEP_REPORT_PATH.name})",
     )
     parser.add_argument(
+        "--telemetry-overhead", action="store_true",
+        help="measure the telemetry layer's cost, off vs. attached "
+             f"(writes {TELEMETRY_REPORT_PATH.name})",
+    )
+    parser.add_argument(
         "--out", type=Path, default=None,
         help=f"output path (default {REPORT_PATH.name}, or "
              f"{SCALING_REPORT_PATH.name} with --scaling, or "
-             f"{SWEEP_REPORT_PATH.name} with --sweep)",
+             f"{SWEEP_REPORT_PATH.name} with --sweep, or "
+             f"{TELEMETRY_REPORT_PATH.name} with --telemetry-overhead)",
     )
     args = parser.parse_args(argv)
-    if args.sweep:
+    if args.telemetry_overhead:
+        report = build_telemetry_report(args.repeats)
+        out = (
+            args.out if args.out is not None else TELEMETRY_REPORT_PATH
+        )
+    elif args.sweep:
         report = build_sweep_report()
         out = args.out if args.out is not None else SWEEP_REPORT_PATH
     elif args.scaling:

@@ -91,6 +91,9 @@ class NodeBufferManager:
         )
         self.hits_by_class: Dict[int, int] = {}
         self.misses_by_class: Dict[int, int] = {}
+        #: Telemetry pipeline or None (off by default); consulted only
+        #: when an eviction batch is non-empty.
+        self.telemetry = None
 
     # -- pool construction -----------------------------------------
 
@@ -319,6 +322,8 @@ class NodeBufferManager:
     def _forget(self, evicted: List[int]) -> List[int]:
         for page_id in evicted:
             self._where.pop(page_id, None)
+        if evicted and self.telemetry is not None:
+            self.telemetry.on_evictions(self.node_id, len(evicted))
         return evicted
 
     def _account(self, class_id: int, hit: bool) -> None:

@@ -10,6 +10,12 @@ Commands map one-to-one onto the paper's experiments plus a demo run:
 - ``resilience`` — fault injection + feedback-loop recovery metrics
 - ``all``        — everything above in sequence
 - ``demo``       — a short quickstart run printing live progress
+- ``trace``      — a short telemetry-instrumented run of one
+  experiment (see docs/observability.md)
+
+``figure2``, ``multiclass``, ``resilience``, and ``scaling`` accept
+``--telemetry DIR`` to export structured traces, metrics, and a
+Perfetto-loadable timeline of the run.
 """
 
 from __future__ import annotations
@@ -22,6 +28,11 @@ from repro.experiments.runner import (
     DEFAULT_WARMUP_MS,
     RESILIENCE_WARMUP_MS,
 )
+
+
+def _note_telemetry(args) -> None:
+    if getattr(args, "telemetry", None):
+        print(f"telemetry exported to {args.telemetry}")
 
 
 def _cmd_table1(args) -> None:
@@ -38,12 +49,15 @@ def _cmd_figure2(args) -> None:
         sweep = run_goal_sweep(
             points=args.sweep, seed=args.seed, intervals=args.intervals,
             warmup_ms=args.warmup_ms, jobs=args.jobs, runner=args.runner,
+            telemetry=args.telemetry,
         )
         print(sweep.to_text())
+        _note_telemetry(args)
         return
     data = run_figure2(
         seed=args.seed, intervals=args.intervals, jobs=args.jobs,
         warmup_ms=args.warmup_ms, faults=args.faults,
+        telemetry=args.telemetry,
     )
     if args.chart:
         print(data.to_chart())
@@ -53,7 +67,10 @@ def _cmd_figure2(args) -> None:
         data.save_csv(args.csv)
         print(f"series written to {args.csv}")
     print(f"satisfaction ratio: {data.satisfaction_ratio():.2f}")
+    if data.p95_rt_ms is not None:
+        print(f"p95 response time: {data.p95_rt_ms:.2f} ms")
     print(f"corr(RT, dedicated): {data.rt_tracks_memory():.2f}")
+    _note_telemetry(args)
 
 
 def _cmd_table2(args) -> None:
@@ -88,18 +105,21 @@ def _cmd_multiclass(args) -> None:
         sweep = run_goal_sweep(
             goal_pairs=args.goal_pairs, intervals=args.intervals,
             warmup_ms=args.warmup_ms, jobs=args.jobs, runner=args.runner,
+            telemetry=args.telemetry,
         )
         print(sweep.to_text())
+        _note_telemetry(args)
         return
     result = run_sharing_sweep(
         intervals=args.intervals, jobs=args.jobs, runner=args.runner,
-        warmup_ms=args.warmup_ms,
+        warmup_ms=args.warmup_ms, telemetry=args.telemetry,
     )
     print(result.to_text())
     print(
         "k2 dedicated memory decreases with sharing: "
         f"{result.k2_dedicated_decreases()}"
     )
+    _note_telemetry(args)
 
 
 def _cmd_overhead(args) -> None:
@@ -126,8 +146,10 @@ def _cmd_resilience(args) -> None:
             warmup_ms=args.warmup_ms,
             jobs=args.jobs,
             runner=args.runner,
+            telemetry=args.telemetry,
         )
         print(sweep.to_text())
+        _note_telemetry(args)
         return
     data = run_resilience(
         seed=args.seed,
@@ -138,6 +160,7 @@ def _cmd_resilience(args) -> None:
         replications=args.replications,
         warmup_ms=args.warmup_ms,
         jobs=args.jobs,
+        telemetry=args.telemetry,
     )
     if args.chart:
         print(data.to_chart())
@@ -146,6 +169,7 @@ def _cmd_resilience(args) -> None:
     if args.csv:
         data.save_csv(args.csv)
         print(f"series written to {args.csv}")
+    _note_telemetry(args)
 
 
 def _cmd_scaling(args) -> None:
@@ -157,13 +181,97 @@ def _cmd_scaling(args) -> None:
         seed=args.seed,
         intervals=args.intervals,
         jobs=args.jobs,
+        telemetry=args.telemetry,
     ))
+    _note_telemetry(args)
 
 
 def _cmd_all(args) -> None:
     from repro.experiments.all import run_all
 
     run_all(quick=args.quick)
+
+
+def _cmd_trace(args) -> None:
+    """A short, scaled-down telemetry-instrumented run.
+
+    Uses the quick 3-node configuration (and, for figure2, a fixed
+    goal range) so the run skips the slow calibration and finishes in
+    seconds — the point is producing loadable telemetry artifacts, not
+    paper-grade numbers.
+    """
+    import json
+    import os
+
+    from repro.experiments.calibration import GoalRange
+    from repro.experiments.resilience import quick_config
+
+    out = args.out
+    if args.experiment == "figure2":
+        from repro.experiments.figure2 import run_figure2
+
+        run_figure2(
+            seed=args.seed, intervals=args.intervals,
+            config=quick_config(), goal_range=GoalRange(1, 2.0, 8.0),
+            warmup_ms=4000.0, telemetry=out,
+        )
+    elif args.experiment == "multiclass":
+        from repro.experiments.multiclass import (
+            doubled_cache_config,
+            run_sharing_point,
+        )
+
+        run_sharing_point(
+            0.5, seed=args.seed,
+            config=doubled_cache_config(quick_config()),
+            intervals=args.intervals,
+            tail=max(args.intervals // 2, 1),
+            warmup_ms=4000.0, telemetry=out,
+        )
+    elif args.experiment == "resilience":
+        from repro.experiments.resilience import run_resilience
+
+        run_resilience(
+            seed=args.seed, intervals=max(args.intervals, 8),
+            config=quick_config(), replications=1,
+            warmup_ms=4000.0, telemetry=out,
+        )
+    else:  # scaling
+        from repro.experiments.scaling import run_scaling
+
+        run_scaling(
+            node_counts=(3,), pages_per_op=(),
+            seed=args.seed, intervals=args.intervals,
+            telemetry=out,
+        )
+
+    # Summarize what was produced: record kinds of the (merged or
+    # single-run) trace, then every artifact path.
+    artifacts = []
+    trace_files = []
+    for dirpath, dirnames, files in os.walk(out):
+        dirnames.sort()
+        for name in sorted(files):
+            path = os.path.join(dirpath, name)
+            artifacts.append(path)
+            if name == "trace.jsonl":
+                trace_files.append(path)
+    top_trace = os.path.join(out, "trace.jsonl")
+    if top_trace in trace_files:
+        # The merged trace already contains every point's records.
+        trace_files = [top_trace]
+    kinds = {}
+    for path in trace_files:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                kind = json.loads(line)["kind"]
+                kinds[kind] = kinds.get(kind, 0) + 1
+    print(f"telemetry exported to {out}")
+    for kind in sorted(kinds):
+        print(f"  {kind}: {kinds[kind]}")
+    print(f"artifacts ({len(artifacts)} files):")
+    for path in artifacts:
+        print(f"  {path}")
 
 
 def _cmd_demo(args) -> None:
@@ -222,6 +330,19 @@ def _add_runner_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help=(
+            "export structured telemetry (JSONL trace, Prometheus "
+            "metrics, Perfetto timeline) into DIR; sweeps write one "
+            "subdirectory per point plus a merged trace (see "
+            "docs/observability.md); off by default with zero "
+            "hot-path cost"
+        ),
+    )
+
+
 def _add_warmup_flag(
     parser: argparse.ArgumentParser, default_ms: float
 ) -> None:
@@ -269,6 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_warmup_flag(p, DEFAULT_WARMUP_MS)
     _add_runner_flag(p)
     _add_jobs_flag(p)
+    _add_telemetry_flag(p)
     p.set_defaults(func=_cmd_figure2)
 
     p = sub.add_parser("table2", help="convergence vs. skew")
@@ -288,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_warmup_flag(p, DEFAULT_WARMUP_MS)
     _add_runner_flag(p)
     _add_jobs_flag(p)
+    _add_telemetry_flag(p)
     p.set_defaults(func=_cmd_multiclass)
 
     p = sub.add_parser("overhead", help="§7.5 overhead breakdown")
@@ -319,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_warmup_flag(p, RESILIENCE_WARMUP_MS)
     _add_runner_flag(p)
     _add_jobs_flag(p)
+    _add_telemetry_flag(p)
     p.set_defaults(func=_cmd_resilience)
 
     p = sub.add_parser("scaling", help="node-count / complexity scaling")
@@ -333,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="operation sizes for the complexity sweep "
                         "(empty skips the sweep)")
     _add_jobs_flag(p)
+    _add_telemetry_flag(p)
     p.set_defaults(func=_cmd_scaling)
 
     p = sub.add_parser("all", help="every experiment in sequence")
@@ -344,6 +469,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--goal", type=float, default=6.0)
     p.add_argument("--intervals", type=int, default=25)
     p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser(
+        "trace",
+        help="short telemetry-instrumented run of one experiment",
+    )
+    p.add_argument(
+        "experiment",
+        choices=("figure2", "multiclass", "resilience", "scaling"),
+        help="which experiment to trace (scaled-down quick settings)",
+    )
+    p.add_argument("--out", metavar="DIR", default="telemetry-out",
+                   help="export directory (default: telemetry-out)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--intervals", type=int, default=6)
+    p.set_defaults(func=_cmd_trace)
 
     return parser
 

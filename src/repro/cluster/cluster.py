@@ -55,6 +55,9 @@ class Cluster:
         #: Fault state (:class:`repro.faults.FaultLayer`) or None; the
         #: access path pays one attribute check while this is None.
         self.faults = None
+        #: Telemetry pipeline (:class:`repro.telemetry.Telemetry`) or
+        #: None — same off-by-default, one-attribute-check discipline.
+        self.telemetry = None
         #: Called as ``fn(node_id, now)`` after every node restart, so
         #: the feedback loop can invalidate state that predates the
         #: crash (see :meth:`restart_node`).
@@ -148,7 +151,13 @@ class Cluster:
         if dropped:
             self.directory.unregister_many(dropped, node_id)
         if hit:
-            self.costs.observe(AccessLevel.LOCAL, env._now - start)
+            elapsed = env._now - start
+            self.costs.observe(AccessLevel.LOCAL, elapsed)
+            telemetry = self.telemetry
+            if telemetry is not None:
+                telemetry.on_access(
+                    node_id, class_id, AccessLevel.LOCAL, elapsed
+                )
             return AccessLevel.LOCAL
 
         level = yield from self._fetch(node, page_id)
@@ -158,7 +167,11 @@ class Cluster:
             self.directory.unregister_many(dropped, node_id)
         if node.buffers.contains(page_id):
             self.directory.register(page_id, node_id)
-        self.costs.observe(level, env._now - start)
+        elapsed = env._now - start
+        self.costs.observe(level, elapsed)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_access(node_id, class_id, level, elapsed)
         return level
 
     def _fetch(self, node: Node, page_id: int):

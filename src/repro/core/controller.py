@@ -27,7 +27,7 @@ from repro.cluster.messages import MessageKind
 from repro.core.agent import AgentReport, ClassAgent
 from repro.core.coordinator import Coordinator, CoordinatorDecision
 from repro.core.tolerance import GoalTolerance
-from repro.sim.stats import TimeSeries
+from repro.sim.stats import P2Quantile, TimeSeries
 
 
 class ClassSeries:
@@ -108,6 +108,15 @@ class GoalOrientedController:
         self.allocation_retries = 0
         self.allocation_unconfirmed = 0
         self.restarts_observed = 0
+        #: Run-wide streaming p95 per goal class, across all nodes
+        #: (the per-node agent estimates cannot be merged after the
+        #: fact, so the tail is tracked class-globally as well).
+        self.class_p95: Dict[int, P2Quantile] = {
+            class_id: P2Quantile(0.95) for class_id in goals
+        }
+        #: Telemetry pipeline or None (off by default, one attribute
+        #: check per interval phase when disabled).
+        self.telemetry = None
         cluster.add_restart_listener(self._on_node_restart)
 
     # -- workload sink ------------------------------------------------
@@ -123,6 +132,13 @@ class GoalOrientedController:
         """Route a completion to the right local agent."""
         agent = self._agent(class_id, node_id)
         agent.on_complete(response_ms, now)
+        quantile = self.class_p95.get(class_id)
+        if quantile is not None:
+            quantile.add(response_ms)
+
+    def p95_response_ms(self, class_id: int) -> float:
+        """Run-wide 95th-percentile response time of a goal class."""
+        return self.class_p95[class_id].value
 
     def _agent(self, class_id: int, node_id: int) -> ClassAgent:
         agent = self.agents.get((class_id, node_id))
@@ -221,6 +237,7 @@ class GoalOrientedController:
             yield env.timeout(self.interval_ms)
             self.interval_index += 1
             now = env.now
+            telemetry = self.telemetry
 
             # Phase (a): every agent closes its observation window.
             reports: Dict[Tuple[int, int], AgentReport] = {}
@@ -240,21 +257,45 @@ class GoalOrientedController:
                 agent.mark_reported(report)
                 if class_id == NO_GOAL_CLASS:
                     for goal_id, coordinator in self.coordinators.items():
+                        delivered = True
                         if self.coordinator_home[goal_id] != node_id:
-                            if not network.send_control(
+                            delivered = network.send_control(
                                 MessageKind.AGENT_REPORT
-                            ):
-                                self.reports_dropped += 1
-                                continue
+                            )
+                        if telemetry is not None:
+                            telemetry.emit(
+                                "agent_report", now, class_id=class_id,
+                                node=node_id, coordinator_class=goal_id,
+                                delivered=delivered,
+                                completions=report.completions,
+                                mean_response_ms=report.mean_response_ms,
+                                arrival_rate=report.arrival_rate,
+                            )
+                        if not delivered:
+                            self.reports_dropped += 1
+                            continue
                         coordinator.receive_nogoal_report(report)
                 else:
                     coordinator = self.coordinators.get(class_id)
                     if coordinator is None:
                         continue
+                    delivered = True
                     if self.coordinator_home[class_id] != node_id:
-                        if not network.send_control(MessageKind.AGENT_REPORT):
-                            self.reports_dropped += 1
-                            continue
+                        delivered = network.send_control(
+                            MessageKind.AGENT_REPORT
+                        )
+                    if telemetry is not None:
+                        telemetry.emit(
+                            "agent_report", now, class_id=class_id,
+                            node=node_id, coordinator_class=class_id,
+                            delivered=delivered,
+                            completions=report.completions,
+                            mean_response_ms=report.mean_response_ms,
+                            arrival_rate=report.arrival_rate,
+                        )
+                    if not delivered:
+                        self.reports_dropped += 1
+                        continue
                     coordinator.receive_goal_report(report)
 
             # Local hit/miss deltas for estimators that need them
@@ -282,6 +323,12 @@ class GoalOrientedController:
 
             for hook in self._interval_hooks:
                 hook(self, self.interval_index)
+
+            if telemetry is not None:
+                telemetry.emit(
+                    "interval", now, index=self.interval_index,
+                    duration_ms=self.interval_ms,
+                )
 
     def _other_dedicated(self, class_id: int) -> List[int]:
         """Per node: bytes dedicated to goal classes other than this one."""
@@ -318,6 +365,8 @@ class GoalOrientedController:
         home = self.coordinator_home[class_id]
         network = self.cluster.network
         n = self.cluster.num_nodes
+        telemetry = self.telemetry
+        now = self.cluster.env.now if telemetry is not None else 0.0
 
         # One exchange per node: decide what actually reaches each
         # node's local agent, and whether the coordinator hears back.
@@ -328,13 +377,28 @@ class GoalOrientedController:
                 continue  # nothing to ship, nothing to confirm
             if node_id == home:
                 effective[node_id] = req  # local, reliable
+                if telemetry is not None:
+                    telemetry.emit(
+                        "allocation_ship", now, class_id=class_id,
+                        node=node_id, requested_bytes=req,
+                        previous_bytes=old, local=True, applied=True,
+                        acked=True, retried=False,
+                    )
                 continue
+            retries_before = self.allocation_retries
             applied, acked = self._allocation_exchange(network)
             if applied:
                 effective[node_id] = req
             confirmed[node_id] = acked
             if not acked:
                 self.allocation_unconfirmed += 1
+            if telemetry is not None:
+                telemetry.emit(
+                    "allocation_ship", now, class_id=class_id,
+                    node=node_id, requested_bytes=req, previous_bytes=old,
+                    local=False, applied=applied, acked=acked,
+                    retried=self.allocation_retries > retries_before,
+                )
 
         granted = self.cluster.apply_allocation(class_id, effective)
 
@@ -347,6 +411,14 @@ class GoalOrientedController:
             for node_id, got in enumerate(granted)
         ]
         coordinator.receive_granted(believed)
+        if telemetry is not None:
+            telemetry.emit(
+                "allocation_result", now, class_id=class_id,
+                requested=requested,
+                granted=[float(g) for g in granted],
+                believed=[float(b) for b in believed],
+                confirmed=confirmed,
+            )
 
     def _allocation_exchange(self, network) -> Tuple[bool, bool]:
         """Run one ALLOCATION/ACK exchange; returns (applied, acked)."""

@@ -34,6 +34,7 @@ from repro.core.hyperplane import (
 from repro.core.lp import PartitioningProblem, solve_partitioning
 from repro.core.measure import MeasureWindow
 from repro.core.tolerance import GoalTolerance
+from repro.telemetry.ring import RingLog
 
 
 @dataclass
@@ -132,9 +133,22 @@ class Coordinator:
         #: node restarts this coordinator has been told about.
         self.invalidated_points = 0
         self.restarts_seen = 0
-        #: Append-only trace of every evaluate() outcome (bounded).
-        self.decision_log: List[DecisionRecord] = []
-        self.decision_log_limit = 512
+        #: Bounded audit of every evaluate() outcome: a true ring that
+        #: evicts its oldest entry once the cap is reached.
+        self.decision_log = RingLog(512)
+        #: Telemetry pipeline or None (off by default); every decision,
+        #: measure point, plane fit, and LP solve is mirrored into its
+        #: structured trace when attached.
+        self.telemetry = None
+
+    @property
+    def decision_log_limit(self) -> int:
+        """Cap of :attr:`decision_log` (assignable, evicts on shrink)."""
+        return self.decision_log.limit
+
+    @decision_log_limit.setter
+    def decision_log_limit(self, value: int) -> None:
+        self.decision_log.limit = value
 
     def _log_decision(
         self, now: float, decision: "CoordinatorDecision"
@@ -144,6 +158,7 @@ class Coordinator:
             if decision.new_allocation is not None
             else self.current_allocation
         )
+        allocation_total = float(np.sum(allocation))
         self.decision_log.append(
             DecisionRecord(
                 time=now,
@@ -151,10 +166,26 @@ class Coordinator:
                 goal_ms=self.goal_ms,
                 satisfied=decision.satisfied,
                 mechanism=decision.mechanism,
-                allocation_total=float(np.sum(allocation)),
+                allocation_total=allocation_total,
             )
         )
-        del self.decision_log[: -self.decision_log_limit]
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.emit(
+                "decision", now,
+                class_id=self.class_id,
+                observed_rt=decision.observed_rt,
+                observed_nogoal_rt=decision.observed_nogoal_rt,
+                goal_ms=self.goal_ms,
+                satisfied=decision.satisfied,
+                mechanism=decision.mechanism,
+                relaxed=decision.relaxed,
+                allocation_total=allocation_total,
+                new_allocation=(
+                    [float(b) for b in decision.new_allocation]
+                    if decision.new_allocation is not None else None
+                ),
+            )
         return decision
 
     # -- phase (b): collect ------------------------------------------------
@@ -232,6 +263,7 @@ class Coordinator:
                 observed_nogoal_rt=rt_nogoal,
                 satisfied=not self.tolerance.violated(rt_goal, self.goal_ms),
             ))
+        points_before = len(self.window)
         self.window.observe(
             self.current_allocation,
             rt_goal,
@@ -239,6 +271,19 @@ class Coordinator:
             now,
             per_node_rt=self._per_node_rts(rt_goal),
         )
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.emit(
+                "measure_point", now,
+                class_id=self.class_id,
+                action=(
+                    "new" if len(self.window) > points_before else "update"
+                ),
+                allocation=[float(b) for b in self.current_allocation],
+                rt_goal=rt_goal,
+                rt_nogoal=rt_nogoal,
+                points_retained=len(self.window),
+            )
         if not self.tolerance.violated(rt_goal, self.goal_ms):
             self.tolerance.record_stable_interval(rt_goal)
             return self._log_decision(now, CoordinatorDecision(
@@ -341,10 +386,35 @@ class Coordinator:
         """Phase (d): fit hyperplanes and solve the LP."""
         if self.objective == "variance":
             return self._optimize_variance(upper, now)
+        telemetry = self.telemetry
         try:
             goal_plane, nogoal_plane = self.window.fit_planes(now)
-        except (SingularFitError, ValueError):
+        except (SingularFitError, ValueError) as exc:
+            if telemetry is not None:
+                telemetry.emit(
+                    "plane_fit", now, class_id=self.class_id,
+                    status="singular", detail=str(exc),
+                    points_retained=len(self.window),
+                )
             return None, False
+        if telemetry is not None:
+            # The Gauss elimination verdict: which retained points made
+            # it into the fit as linearly independent.
+            selected = self.window.selected_points(now)
+            telemetry.emit(
+                "plane_fit", now, class_id=self.class_id, status="ok",
+                points_retained=len(self.window),
+                points_selected=len(selected),
+                selected_times=[float(p.time) for p in selected],
+                goal_coefficients=[
+                    float(c) for c in goal_plane.coefficients
+                ],
+                goal_intercept=float(goal_plane.intercept),
+                nogoal_coefficients=[
+                    float(c) for c in nogoal_plane.coefficients
+                ],
+                nogoal_intercept=float(nogoal_plane.intercept),
+            )
         newest = self.window.newest
         goal_plane = regularize_plane(
             goal_plane, sign=-1, anchor=(newest.allocation, newest.rt_goal)
@@ -352,6 +422,11 @@ class Coordinator:
         if goal_plane is None:
             # Every fitted slope says "more buffer slows the class
             # down" — the fit is noise; explore instead.
+            if telemetry is not None:
+                telemetry.emit(
+                    "plane_reject", now, class_id=self.class_id,
+                    plane="goal", reason="all slopes non-improving",
+                )
             return None, False
         nogoal_plane = regularize_plane(
             nogoal_plane, sign=1,
@@ -373,8 +448,21 @@ class Coordinator:
         )
         solution = solve_partitioning(problem)
         if solution is None:
+            if telemetry is not None:
+                telemetry.emit(
+                    "lp_solve", now, class_id=self.class_id,
+                    status="infeasible",
+                )
             return None, False
         self.lp_solves += 1
+        if telemetry is not None:
+            telemetry.emit(
+                "lp_solve", now, class_id=self.class_id,
+                status="relaxed" if solution.relaxed else "optimal",
+                objective=float(solution.predicted_nogoal_rt),
+                predicted_goal_rt=float(solution.predicted_goal_rt),
+                allocation=[float(b) for b in solution.allocation],
+            )
         return solution.allocation, solution.relaxed
 
     def _optimize_variance(self, upper, now):

@@ -16,13 +16,14 @@ Run standalone::
 from __future__ import annotations
 
 import functools
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.cluster.config import SystemConfig
 from repro.experiments.calibration import GoalRange, calibrate_goal_range
 from repro.experiments.convergence import _next_goal
-from repro.experiments.reporting import format_series, format_table
+from repro.experiments.reporting import emit, format_series, format_table
 from repro.experiments.runner import (
     DEFAULT_WARMUP_MS,
     Simulation,
@@ -40,6 +41,9 @@ class Figure2Data:
     dedicated_bytes: List[float] = field(default_factory=list)
     satisfied: List[bool] = field(default_factory=list)
     goal_range: Optional[GoalRange] = None
+    #: Streaming p95 of the goal class's response times over the
+    #: measured horizon (P² estimate; None before any completion).
+    p95_rt_ms: Optional[float] = None
 
     def satisfaction_ratio(self) -> float:
         """Fraction of intervals in which the goal was satisfied."""
@@ -110,6 +114,7 @@ def run_figure2(
     recorder=None,
     jobs: int = 1,
     faults=None,
+    telemetry=None,
 ) -> Figure2Data:
     """Run the base experiment and return the Figure 2 series.
 
@@ -117,7 +122,9 @@ def run_figure2(
     captures the generated operation stream; ``jobs`` parallelizes the
     goal-range calibration runs when no ``goal_range`` is given.
     ``faults`` (a spec string or :class:`~repro.faults.FaultSchedule`)
-    injects the given fault schedule into the run.
+    injects the given fault schedule into the run.  ``telemetry`` (a
+    directory path) arms the telemetry pipeline and exports its
+    artifacts there after the run.
     """
     config = config if config is not None else SystemConfig()
     workload = default_workload(
@@ -132,7 +139,7 @@ def run_figure2(
     )
     sim = Simulation(
         config=config, workload=workload, seed=seed, warmup_ms=warmup_ms,
-        recorder=recorder, faults=faults,
+        recorder=recorder, faults=faults, telemetry=telemetry,
     )
     rng = sim.cluster.rng.stream("figure2/goals")
     state = {"satisfied_run": 0}
@@ -162,6 +169,9 @@ def run_figure2(
         data.goal.append(series.goal.values[i])
         data.dedicated_bytes.append(series.dedicated_bytes.values[i])
         data.satisfied.append(series.satisfied[i])
+    if sim.controller.class_p95[1].count:
+        data.p95_rt_ms = sim.controller.p95_response_ms(1)
+    sim.export_telemetry()
     return data
 
 
@@ -178,6 +188,8 @@ class GoalPoint:
     goal: List[float] = field(default_factory=list)
     dedicated_bytes: List[float] = field(default_factory=list)
     satisfied: List[bool] = field(default_factory=list)
+    #: Streaming p95 of the goal class's response times (P² estimate).
+    p95_rt_ms: float = 0.0
 
     def satisfaction_ratio(self) -> float:
         """Fraction of intervals in which the goal was satisfied."""
@@ -213,12 +225,13 @@ class GoalSweepData:
                 round(p.goal_ms, 3),
                 round(p.satisfaction_ratio(), 3),
                 round(p.mean_observed_rt(), 3),
+                round(p.p95_rt_ms, 3),
                 int(p.mean_dedicated_bytes()),
             ]
             for p in self.points
         ]
         return format_table(
-            ["seed", "goal_ms", "satisfied", "mean_rt_ms",
+            ["seed", "goal_ms", "satisfied", "mean_rt_ms", "p95_rt_ms",
              "mean dedicated (B)"],
             rows,
             title=f"Figure 2 goal sweep ({self.runner} runner)",
@@ -230,7 +243,8 @@ def _summarize_goal_point(sim: Simulation, intervals: int) -> GoalPoint:
     sim.run(intervals=intervals)
     series = sim.controller.series[1]
     point = GoalPoint(
-        goal_ms=sim.controller.goal_of(1), seed=sim.cluster.rng.seed
+        goal_ms=sim.controller.goal_of(1), seed=sim.cluster.rng.seed,
+        p95_rt_ms=sim.controller.p95_response_ms(1),
     )
     observed = series.observed_rt.values
     for i in range(len(series.goal.values)):
@@ -240,19 +254,21 @@ def _summarize_goal_point(sim: Simulation, intervals: int) -> GoalPoint:
         point.goal.append(series.goal.values[i])
         point.dedicated_bytes.append(series.dedicated_bytes.values[i])
         point.satisfied.append(series.satisfied[i])
+    sim.export_telemetry()
     return point
 
 
 def _cold_goal_point_task(task) -> GoalPoint:
     """One cold sweep point (module-level: picklable for ``jobs>1``)."""
     (config, skew, arrival_rate_per_node, goal_ms, seed, warmup_ms,
-     intervals) = task
+     intervals, telemetry) = task
     workload = default_workload(
         config, goal_ms=goal_ms, skew=skew,
         arrival_rate_per_node=arrival_rate_per_node,
     )
     sim = Simulation(
-        config=config, workload=workload, seed=seed, warmup_ms=warmup_ms
+        config=config, workload=workload, seed=seed, warmup_ms=warmup_ms,
+        telemetry=telemetry,
     )
     return _summarize_goal_point(sim, intervals)
 
@@ -299,6 +315,7 @@ def run_goal_sweep(
     warmup_ms: float = DEFAULT_WARMUP_MS,
     jobs: int = 1,
     runner: str = "auto",
+    telemetry: Optional[str] = None,
 ) -> GoalSweepData:
     """Sweep the base experiment over fixed response time goals.
 
@@ -312,6 +329,10 @@ def run_goal_sweep(
     (or any platform without ``os.fork``) still runs via
     :func:`~repro.experiments.parallel.run_tasks`.  ``goals`` defaults
     to ``points`` goals evenly spaced across the calibrated range.
+    ``telemetry`` (a directory path) exports per-point telemetry to
+    ``<dir>/rep<r>-goal<g>/`` and a merged trace at the top level; the
+    point directories are named by replicate and goal index, so fork
+    and cold runners produce identical artifact trees.
     """
     from repro.experiments import forkserver
     from repro.experiments.parallel import derive_replicate_seed, run_tasks
@@ -336,6 +357,12 @@ def run_goal_sweep(
     warm_keys = [s for s in seeds for _ in goals]
     mode = forkserver.plan_sweep(runner, warm_keys, deltas * len(seeds))
     data = GoalSweepData(goal_range=goal_range, runner=mode)
+
+    def point_dir(rep: int, goal_index: int) -> Optional[str]:
+        if telemetry is None:
+            return None
+        return os.path.join(telemetry, f"rep{rep}-goal{goal_index}")
+
     if mode == "fork":
         groups = [
             forkserver.WarmGroup(
@@ -343,12 +370,16 @@ def run_goal_sweep(
                     _build_sweep_sim, config, skew,
                     arrival_rate_per_node, goals[0], rep_seed, warmup_ms,
                 ),
-                deltas=deltas,
+                deltas=[
+                    forkserver.telemetry_delta(delta, point_dir(rep, g))
+                    if telemetry is not None else delta
+                    for g, delta in enumerate(deltas)
+                ],
                 measure=functools.partial(
                     _summarize_goal_point, intervals=intervals
                 ),
             )
-            for rep_seed in seeds
+            for rep, rep_seed in enumerate(seeds)
         ]
         for group_points in forkserver.run_warm_groups(
             groups, jobs=jobs, runner="fork"
@@ -357,12 +388,23 @@ def run_goal_sweep(
     else:
         tasks = [
             (config, skew, arrival_rate_per_node, goal_ms, rep_seed,
-             warmup_ms, intervals)
-            for rep_seed in seeds
-            for goal_ms in goals
+             warmup_ms, intervals, point_dir(rep, g))
+            for rep, rep_seed in enumerate(seeds)
+            for g, goal_ms in enumerate(goals)
         ]
         data.points.extend(
             run_tasks(_cold_goal_point_task, tasks, jobs=jobs)
+        )
+    if telemetry is not None:
+        from repro.telemetry.exporters import merge_point_dirs
+
+        merge_point_dirs(
+            telemetry,
+            [
+                (f"rep{rep}-goal{g}", point_dir(rep, g))
+                for rep in range(len(seeds))
+                for g in range(len(goals))
+            ],
         )
     return data
 
@@ -370,12 +412,14 @@ def run_goal_sweep(
 def main() -> None:
     """CLI entry point: print the Figure 2 series."""
     data = run_figure2()
-    print(data.to_text())
-    print()
-    print(f"goal range: [{data.goal_range.goal_min_ms:.2f}, "
-          f"{data.goal_range.goal_max_ms:.2f}] ms")
-    print(f"satisfaction ratio: {data.satisfaction_ratio():.2f}")
-    print(f"corr(RT, dedicated memory): {data.rt_tracks_memory():.2f}")
+    emit(data.to_text())
+    emit()
+    emit(f"goal range: [{data.goal_range.goal_min_ms:.2f}, "
+         f"{data.goal_range.goal_max_ms:.2f}] ms")
+    emit(f"satisfaction ratio: {data.satisfaction_ratio():.2f}")
+    if data.p95_rt_ms is not None:
+        emit(f"p95 response time: {data.p95_rt_ms:.2f} ms")
+    emit(f"corr(RT, dedicated memory): {data.rt_tracks_memory():.2f}")
 
 
 if __name__ == "__main__":

@@ -43,6 +43,7 @@ per-point path — gracefully, never as a failure.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 import selectors
@@ -122,6 +123,26 @@ class WarmDelta:
         return self.configure is None or bool(
             getattr(self.configure, "__warmup_invariant__", False)
         )
+
+
+def telemetry_delta(delta: WarmDelta, outdir: str) -> WarmDelta:
+    """Extend ``delta`` so its sweep point exports telemetry to ``outdir``.
+
+    ``Simulation.set_telemetry`` only records the spec — the pipeline
+    attaches at activation and files open at export, both inside the
+    forked child — so the added ``configure`` is warm-up-invariant and
+    each child writes its own per-point sink post-fork.  The cold path
+    applies the same delta, giving bit-identical artifacts.
+    """
+    base = delta.configure
+
+    @warmup_invariant
+    def configure(sim: Simulation) -> None:
+        if base is not None:
+            base(sim)
+        sim.set_telemetry(outdir)
+
+    return dataclasses.replace(delta, configure=configure)
 
 
 def _measure_nothing(sim: Simulation) -> None:

@@ -22,12 +22,13 @@ Run standalone::
 from __future__ import annotations
 
 import functools
+import os
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.config import NodeParameters, SystemConfig
 from repro.experiments.parallel import run_tasks
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import emit, format_table
 from repro.experiments.runner import DEFAULT_WARMUP_MS, Simulation
 from repro.workload.spec import (
     ClassSpec,
@@ -90,6 +91,9 @@ class SharingPoint:
     #: §7.4 sense of "exceeds its goal": being *faster* counts).
     goal_met_k1: float = 0.0
     goal_met_k2: float = 0.0
+    #: Streaming p95 response times over the measured horizon (P²).
+    p95_rt_k1: float = 0.0
+    p95_rt_k2: float = 0.0
 
 
 @dataclass
@@ -118,12 +122,15 @@ class MulticlassResult:
                 p.goal_met_k2,
                 p.observed_rt_k1,
                 p.observed_rt_k2,
+                p.p95_rt_k1,
+                p.p95_rt_k2,
             ]
             for p in self.points
         ]
         return format_table(
             ["sharing", "dedicated k1 (B)", "dedicated k2 (B)",
-             "goal met k1", "goal met k2", "rt k1 (ms)", "rt k2 (ms)"],
+             "goal met k1", "goal met k2", "rt k1 (ms)", "rt k2 (ms)",
+             "p95 k1 (ms)", "p95 k2 (ms)"],
             rows,
             title="Section 7.4: data sharing between goal classes",
         )
@@ -139,6 +146,7 @@ def run_sharing_point(
     config: Optional[SystemConfig] = None,
     skew: float = 0.0,
     warmup_ms: float = DEFAULT_WARMUP_MS,
+    telemetry: Optional[str] = None,
 ) -> SharingPoint:
     """Run one sharing fraction to steady state and summarize the tail."""
     config = (
@@ -148,7 +156,8 @@ def run_sharing_point(
         config, goal1_ms, goal2_ms, sharing=sharing, skew=skew
     )
     sim = Simulation(
-        config=config, workload=workload, seed=seed, warmup_ms=warmup_ms
+        config=config, workload=workload, seed=seed, warmup_ms=warmup_ms,
+        telemetry=telemetry,
     )
     return _summarize_sharing_point(
         sim, sharing=sharing, intervals=intervals, tail=tail
@@ -177,7 +186,7 @@ def _summarize_sharing_point(
         ]
         return tail_mean(flags)
 
-    return SharingPoint(
+    point = SharingPoint(
         sharing=sharing,
         dedicated_k1_bytes=tail_mean(s1.dedicated_bytes.values),
         dedicated_k2_bytes=tail_mean(s2.dedicated_bytes.values),
@@ -187,7 +196,11 @@ def _summarize_sharing_point(
         observed_rt_k2=tail_mean(s2.observed_rt.values),
         goal_met_k1=goal_met(s1, goal1_ms),
         goal_met_k2=goal_met(s2, goal2_ms),
+        p95_rt_k1=sim.controller.p95_response_ms(1),
+        p95_rt_k2=sim.controller.p95_response_ms(2),
     )
+    sim.export_telemetry()
+    return point
 
 
 def _sharing_point_task(task) -> SharingPoint:
@@ -200,6 +213,7 @@ def run_sharing_sweep(
     sharings: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
     jobs: int = 1,
     runner: str = "auto",
+    telemetry: Optional[str] = None,
     **kwargs,
 ) -> MulticlassResult:
     """The full §7.4(b) sweep over sharing fractions.
@@ -218,9 +232,22 @@ def run_sharing_sweep(
     # One distinct warm key per sharing fraction: the plan documents
     # (and enforces) that there is nothing to amortize here.
     plan_sweep(runner, warm_keys=list(sharings))
-    tasks = [(sharing, kwargs) for sharing in sharings]
+    labels = [f"share{sharing:g}" for sharing in sharings]
+    tasks = []
+    for sharing, label in zip(sharings, labels):
+        point_kwargs = dict(kwargs)
+        if telemetry is not None:
+            point_kwargs["telemetry"] = os.path.join(telemetry, label)
+        tasks.append((sharing, point_kwargs))
     result = MulticlassResult()
     result.points.extend(run_tasks(_sharing_point_task, tasks, jobs=jobs))
+    if telemetry is not None:
+        from repro.telemetry.exporters import merge_point_dirs
+
+        merge_point_dirs(
+            telemetry,
+            [(label, os.path.join(telemetry, label)) for label in labels],
+        )
     return result
 
 
@@ -247,6 +274,8 @@ class GoalPairPoint:
             p.goal_met_k2,
             p.observed_rt_k1,
             p.observed_rt_k2,
+            p.p95_rt_k1,
+            p.p95_rt_k2,
         ]
 
 
@@ -263,7 +292,7 @@ class MulticlassGoalSweep:
         return format_table(
             ["goal k1 (ms)", "goal k2 (ms)", "dedicated k1 (B)",
              "dedicated k2 (B)", "goal met k1", "goal met k2",
-             "rt k1 (ms)", "rt k2 (ms)"],
+             "rt k1 (ms)", "rt k2 (ms)", "p95 k1 (ms)", "p95 k2 (ms)"],
             [p.to_row() for p in self.points],
             title=(
                 f"Section 7.4 goal-pair sweep (sharing "
@@ -305,11 +334,13 @@ def _measure_goal_pair(
 def _cold_goal_pair_task(task) -> GoalPairPoint:
     """One cold goal pair (module-level: picklable for ``jobs>1``)."""
     (config, goal1_ms, goal2_ms, sharing, skew, seed, warmup_ms,
-     intervals, tail) = task
+     intervals, tail, telemetry) = task
     sim = _build_goal_pair_sim(
         config, goal1_ms, goal2_ms, sharing, skew, seed, warmup_ms
     )
     sim.warm()
+    if telemetry is not None:
+        sim.set_telemetry(telemetry)
     return _measure_goal_pair(
         sim, sharing=sharing, intervals=intervals, tail=tail
     )
@@ -328,6 +359,7 @@ def run_goal_sweep(
     warmup_ms: float = DEFAULT_WARMUP_MS,
     jobs: int = 1,
     runner: str = "auto",
+    telemetry: Optional[str] = None,
 ) -> MulticlassGoalSweep:
     """Sweep the §7.4 system over (goal k1, goal k2) pairs.
 
@@ -352,6 +384,12 @@ def run_goal_sweep(
         runner, warm_keys=[seed] * len(goal_pairs), deltas=deltas
     )
     sweep = MulticlassGoalSweep(sharing=sharing, runner=mode)
+
+    def point_dir(pair_index: int) -> Optional[str]:
+        if telemetry is None:
+            return None
+        return os.path.join(telemetry, f"pair{pair_index}")
+
     if mode == "fork":
         base1, base2 = goal_pairs[0]
         sweep.points.extend(forkserver.run_warm_sweep(
@@ -359,7 +397,11 @@ def run_goal_sweep(
                 _build_goal_pair_sim, config, base1, base2, sharing,
                 skew, seed, warmup_ms,
             ),
-            deltas=deltas,
+            deltas=[
+                forkserver.telemetry_delta(delta, point_dir(g))
+                if telemetry is not None else delta
+                for g, delta in enumerate(deltas)
+            ],
             measure=functools.partial(
                 _measure_goal_pair, sharing=sharing,
                 intervals=intervals, tail=tail,
@@ -370,11 +412,21 @@ def run_goal_sweep(
     else:
         tasks = [
             (config, goal1_ms, goal2_ms, sharing, skew, seed,
-             warmup_ms, intervals, tail)
-            for goal1_ms, goal2_ms in goal_pairs
+             warmup_ms, intervals, tail, point_dir(g))
+            for g, (goal1_ms, goal2_ms) in enumerate(goal_pairs)
         ]
         sweep.points.extend(
             run_tasks(_cold_goal_pair_task, tasks, jobs=jobs)
+        )
+    if telemetry is not None:
+        from repro.telemetry.exporters import merge_point_dirs
+
+        merge_point_dirs(
+            telemetry,
+            [
+                (f"pair{g}", point_dir(g))
+                for g in range(len(goal_pairs))
+            ],
         )
     return sweep
 
@@ -382,11 +434,11 @@ def run_goal_sweep(
 def main() -> None:
     """CLI entry point: print the §7.4 sharing sweep."""
     result = run_sharing_sweep()
-    print(result.to_text())
-    print()
-    print(
-        "k2 dedicated memory decreases with sharing:",
-        result.k2_dedicated_decreases(),
+    emit(result.to_text())
+    emit()
+    emit(
+        "k2 dedicated memory decreases with sharing: "
+        f"{result.k2_dedicated_decreases()}"
     )
 
 

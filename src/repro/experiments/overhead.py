@@ -20,7 +20,7 @@ from typing import Dict, Optional
 
 from repro.cluster.config import SystemConfig
 from repro.cluster.messages import CONTROL_KINDS, MessageKind
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import emit, format_table
 from repro.experiments.runner import Simulation, default_workload
 from repro.experiments.table1 import measure_row
 
@@ -120,7 +120,7 @@ def run_overhead(
 
 def main() -> None:
     """CLI entry point: print the overhead breakdown."""
-    print(run_overhead().to_text())
+    emit(run_overhead().to_text())
 
 
 if __name__ == "__main__":

@@ -1,8 +1,21 @@
-"""Plain-text tables and series matching the paper's presentation."""
+"""Plain-text tables and series matching the paper's presentation.
+
+This module is also the sanctioned output path for experiment entry
+points: :func:`emit` is the one place (besides the CLI itself) where
+the library writes to stdout, so diagnostics elsewhere must go through
+the telemetry layer instead of stray ``print`` calls (enforced by
+``tools/check_no_prints.py``).
+"""
 
 from __future__ import annotations
 
+import sys
 from typing import Iterable, List, Sequence
+
+
+def emit(text: str = "") -> None:
+    """Write one line of report output to stdout."""
+    sys.stdout.write(text + "\n")
 
 
 def format_table(
@@ -17,7 +30,11 @@ def format_table(
     widths = [len(h) for h in headers]
     for row in str_rows:
         for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                # Ragged row wider than the header: grow the table.
+                widths.append(len(cell))
     lines = []
     if title:
         lines.append(title)

@@ -31,12 +31,13 @@ Run standalone::
 from __future__ import annotations
 
 import functools
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.cluster.config import NodeParameters, SystemConfig
 from repro.experiments.parallel import derive_replicate_seed, run_tasks
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import emit, format_table
 from repro.experiments.runner import (
     RESILIENCE_WARMUP_MS,
     Simulation,
@@ -125,6 +126,8 @@ class ResilienceReplicate:
     invalidated_points: int = 0
     #: Whole-run goal-violation area, in ms·s.
     total_violation_area: float = 0.0
+    #: Streaming p95 of the goal class's response times (P² estimate).
+    p95_rt_ms: float = 0.0
 
 
 @dataclass
@@ -170,6 +173,14 @@ class ResilienceData:
             rep.total_violation_area for rep in self.replicates
         ) / len(self.replicates)
 
+    def mean_p95_rt_ms(self) -> float:
+        """Mean per-replicate p95 response time of the goal class."""
+        if not self.replicates:
+            return 0.0
+        return sum(
+            rep.p95_rt_ms for rep in self.replicates
+        ) / len(self.replicates)
+
     # -- presentation -------------------------------------------------
 
     def to_text(self) -> str:
@@ -206,6 +217,8 @@ class ResilienceData:
             + ("n/a" if mean_re is None else f"{mean_re:.1f} intervals"),
             f"mean goal-violation area: "
             f"{self.mean_violation_area():.2f} ms*s",
+            f"mean p95 response time: "
+            f"{self.mean_p95_rt_ms():.2f} ms",
             f"reports dropped: "
             f"{sum(r.reports_dropped for r in self.replicates)}, "
             f"allocation retries: "
@@ -348,6 +361,8 @@ def _measure_resilience(
     rep.allocation_retries = controller.allocation_retries
     rep.allocation_unconfirmed = controller.allocation_unconfirmed
     rep.invalidated_points = coordinator.invalidated_points
+    rep.p95_rt_ms = controller.p95_response_ms(GOAL_CLASS)
+    sim.export_telemetry()
     return rep
 
 
@@ -359,13 +374,33 @@ def _resilience_replicate(
     fault_spec: str,
     arrival_rate_per_node: float,
     seed: int,
+    telemetry: Optional[str] = None,
 ) -> ResilienceReplicate:
     """One seeded resilience run (module-level: picklable for jobs>1)."""
     sim = _build_resilience_sim(
         config, goal_ms, warmup_ms, fault_spec,
         arrival_rate_per_node, seed,
     )
+    if telemetry is not None:
+        sim.set_telemetry(telemetry)
     return _measure_resilience(sim, intervals)
+
+
+def _resilience_replicate_task(
+    config: SystemConfig,
+    goal_ms: float,
+    intervals: int,
+    warmup_ms: float,
+    fault_spec: str,
+    arrival_rate_per_node: float,
+    task,
+) -> ResilienceReplicate:
+    """Unpack one ``(seed, telemetry)`` replicate task (picklable)."""
+    seed, telemetry = task
+    return _resilience_replicate(
+        config, goal_ms, intervals, warmup_ms, fault_spec,
+        arrival_rate_per_node, seed, telemetry,
+    )
 
 
 def run_resilience(
@@ -378,6 +413,7 @@ def run_resilience(
     warmup_ms: float = RESILIENCE_WARMUP_MS,
     arrival_rate_per_node: float = 0.02,
     jobs: int = 1,
+    telemetry: Optional[str] = None,
 ) -> ResilienceData:
     """Run the resilience experiment and return the aggregated data.
 
@@ -396,13 +432,29 @@ def run_resilience(
             intervals, config.observation_interval_ms, warmup_ms
         )
     worker = functools.partial(
-        _resilience_replicate, config, goal_ms, intervals, warmup_ms,
-        faults, arrival_rate_per_node,
+        _resilience_replicate_task, config, goal_ms, intervals,
+        warmup_ms, faults, arrival_rate_per_node,
     )
     seeds = [
         derive_replicate_seed(seed, i) for i in range(replications)
     ]
-    replicates = run_tasks(worker, seeds, jobs=jobs)
+    labels = [f"rep{i}" for i in range(replications)]
+    tasks = [
+        (
+            rep_seed,
+            os.path.join(telemetry, label)
+            if telemetry is not None else None,
+        )
+        for rep_seed, label in zip(seeds, labels)
+    ]
+    replicates = run_tasks(worker, tasks, jobs=jobs)
+    if telemetry is not None:
+        from repro.telemetry.exporters import merge_point_dirs
+
+        merge_point_dirs(
+            telemetry,
+            [(label, os.path.join(telemetry, label)) for label in labels],
+        )
     return ResilienceData(
         fault_spec=faults,
         goal_ms=goal_ms,
@@ -456,6 +508,7 @@ def run_goal_sweep(
     arrival_rate_per_node: float = 0.02,
     jobs: int = 1,
     runner: str = "auto",
+    telemetry: Optional[str] = None,
 ) -> ResilienceGoalSweep:
     """Measure recovery under the same fault schedule at several goals.
 
@@ -488,6 +541,11 @@ def run_goal_sweep(
         warm_keys=[s for s in seeds for _ in goals],
         deltas=deltas * len(seeds),
     )
+    def point_dir(rep: int, goal_index: int) -> Optional[str]:
+        if telemetry is None:
+            return None
+        return os.path.join(telemetry, f"rep{rep}-goal{goal_index}")
+
     if mode == "fork":
         groups = [
             forkserver.WarmGroup(
@@ -495,12 +553,16 @@ def run_goal_sweep(
                     _build_resilience_sim, config, goals[0], warmup_ms,
                     faults, arrival_rate_per_node, rep_seed,
                 ),
-                deltas=deltas,
+                deltas=[
+                    forkserver.telemetry_delta(delta, point_dir(rep, g))
+                    if telemetry is not None else delta
+                    for g, delta in enumerate(deltas)
+                ],
                 measure=functools.partial(
                     _measure_resilience, intervals=intervals
                 ),
             )
-            for rep_seed in seeds
+            for rep, rep_seed in enumerate(seeds)
         ]
         # One warmed parent per replicate seed; replicate-major lists
         # of per-goal results come back in point order.
@@ -514,15 +576,26 @@ def run_goal_sweep(
     else:
         tasks = [
             (config, goal_ms, intervals, warmup_ms, faults,
-             arrival_rate_per_node, rep_seed)
-            for goal_ms in goals
-            for rep_seed in seeds
+             arrival_rate_per_node, rep_seed, point_dir(rep, g))
+            for g, goal_ms in enumerate(goals)
+            for rep, rep_seed in enumerate(seeds)
         ]
         flat = run_tasks(_resilience_goal_task, tasks, jobs=jobs)
         by_goal = [
             flat[g * len(seeds):(g + 1) * len(seeds)]
             for g in range(len(goals))
         ]
+    if telemetry is not None:
+        from repro.telemetry.exporters import merge_point_dirs
+
+        merge_point_dirs(
+            telemetry,
+            [
+                (f"rep{rep}-goal{g}", point_dir(rep, g))
+                for rep in range(len(seeds))
+                for g in range(len(goals))
+            ],
+        )
     sweep = ResilienceGoalSweep(fault_spec=faults, runner=mode)
     for goal_ms, replicates in zip(goals, by_goal):
         sweep.results.append(ResilienceData(
@@ -537,17 +610,17 @@ def run_goal_sweep(
 def _resilience_goal_task(task) -> ResilienceReplicate:
     """One cold goal-sweep point (module-level: picklable)."""
     (config, goal_ms, intervals, warmup_ms, fault_spec,
-     arrival_rate_per_node, seed) = task
+     arrival_rate_per_node, seed, telemetry) = task
     return _resilience_replicate(
         config, goal_ms, intervals, warmup_ms, fault_spec,
-        arrival_rate_per_node, seed,
+        arrival_rate_per_node, seed, telemetry,
     )
 
 
 def main() -> None:
     """CLI entry point: print the resilience report."""
     data = run_resilience()
-    print(data.to_text())
+    emit(data.to_text())
 
 
 if __name__ == "__main__":

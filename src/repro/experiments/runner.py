@@ -45,6 +45,7 @@ class Simulation:
         warmup_ms: float = 0.0,
         recorder=None,
         faults=None,
+        telemetry=None,
         **controller_kwargs,
     ):
         self.config = config if config is not None else SystemConfig()
@@ -85,6 +86,14 @@ class Simulation:
         self._started = False
         self._controller_t0 = 0.0
         self._intervals_requested = 0
+        #: Attached telemetry pipeline (None until activation).
+        self.telemetry = None
+        #: Export directory (``telemetry`` may be a directory path, or
+        #: True for an in-memory pipeline without exports).  The
+        #: pipeline attaches at activation — after the warm-up — so
+        #: warmed images stay goal- and telemetry-agnostic and fork
+        #: children inherit an untelemetried parent.
+        self._telemetry_spec = telemetry
 
     # -- running -------------------------------------------------------
 
@@ -109,11 +118,29 @@ class Simulation:
             # Let caches warm before the controller starts reacting.
             self.cluster.env.run(until=self.warmup_ms)
 
+    def set_telemetry(self, spec) -> None:
+        """Arm telemetry before activation (a directory path or True).
+
+        Only records the spec — attachment happens in
+        :meth:`activate`, file writes in :meth:`export_telemetry` — so
+        calling this from a fork-server ``WarmDelta.configure`` is
+        warmup-invariant: no events, no RNG, no files, and each forked
+        child opens its own sinks post-fork.
+        """
+        if self._started:
+            raise RuntimeError("telemetry must be armed before activation")
+        self._telemetry_spec = spec
+
     def activate(self) -> None:
         """Start the controller's feedback loop (idempotent)."""
         if self._started:
             return
         self._started = True
+        import repro.telemetry as telemetry_mod
+
+        if self._telemetry_spec is not None or telemetry_mod.is_enabled():
+            if self.telemetry is None:
+                self.telemetry = telemetry_mod.attach_simulation(self)
         self.controller.start()
         self._controller_t0 = self.cluster.env.now
 
@@ -153,6 +180,24 @@ class Simulation:
         """Advance the simulation to absolute time ``time_ms``."""
         self.start()
         self.cluster.env.run(until=time_ms)
+
+    def export_telemetry(self, outdir: Optional[str] = None):
+        """Write telemetry exports; no-op when telemetry is off.
+
+        ``outdir`` defaults to the directory given at construction (or
+        via :meth:`set_telemetry`).  Returns the artifact path mapping,
+        or None when telemetry was never attached or no directory is
+        known (``telemetry=True`` keeps the pipeline in memory only).
+        """
+        if self.telemetry is None:
+            return None
+        if outdir is None and isinstance(self._telemetry_spec, str):
+            outdir = self._telemetry_spec
+        if outdir is None:
+            return None
+        from repro.telemetry.exporters import write_export
+
+        return write_export(self.telemetry, outdir)
 
     # -- convenience accessors ---------------------------------------------
 

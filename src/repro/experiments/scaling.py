@@ -27,12 +27,13 @@ Run standalone::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.config import SystemConfig
 from repro.experiments.parallel import run_tasks
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import emit, format_table
 from repro.experiments.runner import Simulation, default_workload
 
 
@@ -49,12 +50,15 @@ class ScalingPoint:
 
 
 #: One sweep configuration, picklable for the process-pool path:
-#: (label, config, pages_per_op, goal_scale, seed, intervals).
-_PointTask = Tuple[str, SystemConfig, int, float, int, int]
+#: (label, config, pages_per_op, goal_scale, seed, intervals,
+#: telemetry directory or None).
+_PointTask = Tuple[str, SystemConfig, int, float, int, int,
+                   Optional[str]]
 
 
 def _run_point(task: _PointTask) -> ScalingPoint:
-    label, config, pages_per_op, goal_scale, seed, intervals = task
+    (label, config, pages_per_op, goal_scale, seed, intervals,
+     telemetry) = task
     # Calibrate a modest, reachable goal for this configuration: run a
     # probe with half the cache statically dedicated.
     from repro.experiments.calibration import measure_static_rt
@@ -69,12 +73,13 @@ def _run_point(task: _PointTask) -> ScalingPoint:
     workload = workload.with_goal(1, goal_ms)
     sim = Simulation(
         config=config, workload=workload, seed=seed,
-        warmup_ms=20_000.0,
+        warmup_ms=20_000.0, telemetry=telemetry,
     )
     sim.run(intervals=intervals)
     satisfied = sim.satisfied(1)
     rts = sim.controller.series[1].observed_rt.values
     tail = rts[-max(len(rts) // 3, 1):]
+    sim.export_telemetry()
     return ScalingPoint(
         label=label,
         num_nodes=config.num_nodes,
@@ -112,6 +117,23 @@ def _with_pages_per_op(workload, pages_per_op: int):
     ])
 
 
+def _point_dir(telemetry: Optional[str], label: str) -> Optional[str]:
+    if telemetry is None:
+        return None
+    return os.path.join(telemetry, label)
+
+
+def _merge_points(telemetry: Optional[str], labels: List[str]) -> None:
+    if telemetry is None:
+        return
+    from repro.telemetry.exporters import merge_point_dirs
+
+    merge_point_dirs(
+        telemetry,
+        [(label, _point_dir(telemetry, label)) for label in labels],
+    )
+
+
 def run_node_scaling(
     node_counts: Sequence[int] = (3, 5),
     base_config: Optional[SystemConfig] = None,
@@ -119,15 +141,19 @@ def run_node_scaling(
     intervals: int = 50,
     goal_scale: float = 1.0,
     jobs: int = 1,
+    telemetry: Optional[str] = None,
 ) -> List[ScalingPoint]:
     """Convergence behaviour as the cluster grows."""
     base = base_config if base_config is not None else SystemConfig()
+    labels = [f"nodes{n}" for n in node_counts]
     tasks: List[_PointTask] = [
         (f"{n} nodes", replace(base, num_nodes=n), 4,
-         goal_scale, seed, intervals)
-        for n in node_counts
+         goal_scale, seed, intervals, _point_dir(telemetry, label))
+        for n, label in zip(node_counts, labels)
     ]
-    return run_tasks(_run_point, tasks, jobs=jobs)
+    points = run_tasks(_run_point, tasks, jobs=jobs)
+    _merge_points(telemetry, labels)
+    return points
 
 
 def run_complexity_scaling(
@@ -137,14 +163,19 @@ def run_complexity_scaling(
     intervals: int = 50,
     goal_scale: float = 1.0,
     jobs: int = 1,
+    telemetry: Optional[str] = None,
 ) -> List[ScalingPoint]:
     """Convergence behaviour as operations get more complex."""
     config = base_config if base_config is not None else SystemConfig()
+    labels = [f"ppo{ppo}" for ppo in pages_per_op]
     tasks: List[_PointTask] = [
-        (f"{ppo} pages/op", config, ppo, goal_scale, seed, intervals)
-        for ppo in pages_per_op
+        (f"{ppo} pages/op", config, ppo, goal_scale, seed, intervals,
+         _point_dir(telemetry, label))
+        for ppo, label in zip(pages_per_op, labels)
     ]
-    return run_tasks(_run_point, tasks, jobs=jobs)
+    points = run_tasks(_run_point, tasks, jobs=jobs)
+    _merge_points(telemetry, labels)
+    return points
 
 
 def to_text(points: List[ScalingPoint], title: str) -> str:
@@ -169,12 +200,14 @@ def run_scaling(
     intervals: int = 50,
     goal_scale: float = 1.0,
     jobs: int = 1,
+    telemetry: Optional[str] = None,
 ) -> str:
     """Run both sweeps and render them; the ``repro scaling`` backend.
 
     An empty ``node_counts`` or ``pages_per_op`` skips that axis, so a
     smoke run can drive a single large-cluster point without paying for
-    the other sweep.
+    the other sweep.  ``telemetry`` exports per-point artifacts under
+    ``<dir>/nodes/`` and ``<dir>/complexity/`` respectively.
     """
     sections = []
     if node_counts:
@@ -182,6 +215,7 @@ def run_scaling(
             run_node_scaling(
                 node_counts=node_counts, seed=seed, intervals=intervals,
                 goal_scale=goal_scale, jobs=jobs,
+                telemetry=_point_dir(telemetry, "nodes"),
             ),
             "Scaling: number of nodes",
         ))
@@ -190,6 +224,7 @@ def run_scaling(
             run_complexity_scaling(
                 pages_per_op=pages_per_op, seed=seed,
                 intervals=intervals, goal_scale=goal_scale, jobs=jobs,
+                telemetry=_point_dir(telemetry, "complexity"),
             ),
             "Scaling: operation complexity",
         ))
@@ -198,7 +233,7 @@ def run_scaling(
 
 def main() -> None:
     """CLI entry point: run both scaling axes."""
-    print(run_scaling())
+    emit(run_scaling())
 
 
 if __name__ == "__main__":

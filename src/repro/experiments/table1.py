@@ -31,7 +31,7 @@ import numpy as np
 from repro.core.hyperplane import fit_hyperplane
 from repro.core.lp import PartitioningProblem, solve_partitioning
 from repro.core.measure import MeasureWindow
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import emit, format_table
 
 #: The node counts of the paper's Table 1.
 PAPER_NODE_COUNTS = (5, 10, 20, 30, 40, 50)
@@ -197,7 +197,7 @@ def to_text(rows: List[Table1Row]) -> str:
 
 def main() -> None:
     """CLI entry point: print the measured Table 1."""
-    print(to_text(run_table1()))
+    emit(to_text(run_table1()))
 
 
 if __name__ == "__main__":

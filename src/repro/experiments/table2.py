@@ -23,7 +23,7 @@ from repro.experiments.convergence import (
     ConvergenceSettings,
     convergence_experiment,
 )
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import emit, format_table
 
 #: The skew values of the paper's Table 2.
 PAPER_SKEWS = (0.0, 0.25, 0.5, 0.75, 1.0)
@@ -89,7 +89,7 @@ def main() -> None:
     """CLI entry point: print the measured Table 2."""
     config = SystemConfig()
     settings = ConvergenceSettings(config=config)
-    print(to_text(run_table2(settings=settings)))
+    emit(to_text(run_table2(settings=settings)))
 
 
 if __name__ == "__main__":

@@ -152,15 +152,17 @@ class FaultInjector:
             duration = event.duration_ms
         else:  # pragma: no cover - the parser rejects unknown kinds
             raise ValueError(f"unknown fault kind {event.kind!r}")
-        self.injected.append(
-            InjectedFault(
-                kind=event.kind,
-                time_ms=env.now,
-                node=event.node,
-                duration_ms=duration,
-                dropped_pages=dropped,
-            )
+        fault = InjectedFault(
+            kind=event.kind,
+            time_ms=env.now,
+            node=event.node,
+            duration_ms=duration,
+            dropped_pages=dropped,
         )
+        self.injected.append(fault)
+        telemetry = self.cluster.telemetry
+        if telemetry is not None:
+            telemetry.on_fault(fault)
 
     # Episode expiry processes.  Overlapping episodes of the same kind
     # keep the most recent setting while both run; the last expiry

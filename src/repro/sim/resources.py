@@ -63,6 +63,12 @@ class Resource:
         self._busy_time = 0.0
         self._grants = 0
         self._wait_total = 0.0
+        #: Telemetry wait histogram, or None (off by default).  Only
+        #: contended grants consult it — uncontended holds have zero
+        #: queueing delay by construction — so disabled telemetry costs
+        #: one attribute check per *queued* grant and nothing on the
+        #: fast paths.
+        self._tel_wait = None
 
     # -- public API ------------------------------------------------
 
@@ -188,6 +194,9 @@ class Resource:
             waited = now - request._enqueued_at
             self._grants += 1
             self._wait_total += waited
+            hist = self._tel_wait
+            if hist is not None:
+                hist.add(waited)
             request.succeed(waited)
 
 

@@ -1,0 +1,83 @@
+"""Zero-overhead observability: metrics, structured traces, exporters.
+
+The telemetry layer is **off by default**: every instrumented component
+keeps a ``telemetry`` attribute (or a ``_tel_wait`` histogram slot on
+resources) that is ``None`` until :func:`attach_simulation` installs a
+pipeline, so the hot paths pay a single attribute check — the same
+discipline as the idle fault layer.  Attachment is opt-in per
+simulation (``Simulation(telemetry=...)`` / ``--telemetry DIR``) or
+globally via the module-level switch below.
+
+Telemetry never draws from RNG streams, never schedules events, and
+never reads the wall clock: all timestamps are simulated milliseconds,
+records are buffered in memory, and files are only written at export
+time (post-fork in forked sweeps).  Enabled or disabled, simulation
+results are bit-identical.
+
+See ``docs/observability.md`` for the architecture and the exporter
+formats (Prometheus text, JSONL trace, Chrome trace-event timeline).
+"""
+
+from repro.telemetry.exporters import (
+    chrome_trace,
+    merge_point_dirs,
+    prometheus_text,
+    write_export,
+)
+from repro.telemetry.pipeline import (
+    Telemetry,
+    attach_cluster,
+    attach_simulation,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.ring import RingLog
+from repro.telemetry.trace import TraceLog
+
+#: Module-level master switch.  When False (the default) simulations
+#: attach telemetry only when explicitly configured; flipping it to
+#: True via :func:`enable` makes every subsequently activated
+#: simulation attach an in-memory pipeline even without an export
+#: directory (useful for interactive inspection via ``sim.telemetry``).
+_enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether the module-level telemetry switch is on."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn the module-level telemetry switch on."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn the module-level telemetry switch off (the default)."""
+    global _enabled
+    _enabled = False
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RingLog",
+    "Telemetry",
+    "TraceLog",
+    "attach_cluster",
+    "attach_simulation",
+    "chrome_trace",
+    "disable",
+    "enable",
+    "is_enabled",
+    "merge_point_dirs",
+    "prometheus_text",
+    "write_export",
+]

@@ -1,0 +1,79 @@
+"""A bounded append-only log that evicts its oldest entries.
+
+:class:`RingLog` backs :attr:`repro.core.coordinator.Coordinator.decision_log`
+— the coordinator's per-interval decision audit — with true ring
+semantics: appends are O(1), the newest ``limit`` entries are retained,
+and the oldest entry is evicted when the cap is reached (instead of the
+historical list-slice truncation, which shifted the whole list on every
+append once full).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import islice
+from typing import Iterator, List
+
+
+class RingLog:
+    """Keep the newest ``limit`` appended entries, oldest first."""
+
+    __slots__ = ("_items", "_limit", "appended")
+
+    def __init__(self, limit: int = 512):
+        if limit < 1:
+            raise ValueError("ring limit must be >= 1")
+        self._limit = limit
+        self._items: deque = deque(maxlen=limit)
+        #: Total entries ever appended (evictions included).
+        self.appended = 0
+
+    def append(self, item) -> None:
+        """Append ``item``, evicting the oldest entry when full."""
+        self._items.append(item)
+        self.appended += 1
+
+    @property
+    def limit(self) -> int:
+        """Maximum number of retained entries."""
+        return self._limit
+
+    @limit.setter
+    def limit(self, value: int) -> None:
+        if value < 1:
+            raise ValueError("ring limit must be >= 1")
+        if value != self._limit:
+            self._limit = value
+            self._items = deque(
+                islice(self._items, max(0, len(self._items) - value), None),
+                maxlen=value,
+            )
+
+    @property
+    def evicted(self) -> int:
+        """How many entries have been evicted so far."""
+        return self.appended - len(self._items)
+
+    def to_list(self) -> List:
+        """The retained entries as a list, oldest first."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._items)[index]
+        return self._items[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"RingLog(limit={self._limit}, len={len(self._items)}, "
+            f"appended={self.appended})"
+        )

@@ -1,0 +1,37 @@
+"""Structured trace log: deterministic, in-memory event records.
+
+Each record is a plain dict with at least ``kind`` (the record type) and
+``t`` (simulated milliseconds).  Records are buffered in memory in emit
+order — nothing is written to disk until an exporter runs, so emitting
+never perturbs event ordering, RNG streams, or the wall clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class TraceLog:
+    """Append-only buffer of structured trace records."""
+
+    __slots__ = ("records",)
+
+    def __init__(self):
+        self.records: List[Dict] = []
+
+    def emit(self, kind: str, t: float, **fields) -> None:
+        """Record an event of ``kind`` at simulated time ``t`` (ms)."""
+        record = {"kind": kind, "t": t}
+        record.update(fields)
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def kinds(self) -> Dict[str, int]:
+        """Count of records per ``kind``, sorted by kind."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            kind = record["kind"]
+            counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items()))

@@ -39,6 +39,21 @@ def test_log_is_bounded():
     assert coordinator.decision_log[-1].time == 11.0
 
 
+def test_log_caps_at_512_as_a_ring():
+    """The default cap holds, evicting oldest-first without growth."""
+    coordinator = make_coordinator(goal_ms=10.0)
+    assert coordinator.decision_log_limit == 512
+    for i in range(520):
+        feed(coordinator, [10.0] * 3, [1.0] * 3, time=float(i))
+        coordinator.evaluate(now=float(i), other_dedicated=[0, 0, 0])
+    assert len(coordinator.decision_log) == 512
+    assert coordinator.decision_log.appended == 520
+    assert coordinator.decision_log.evicted == 8
+    # Oldest evicted: the surviving window is the newest 512 records.
+    assert coordinator.decision_log[0].time == 8.0
+    assert coordinator.decision_log[-1].time == 519.0
+
+
 def test_no_reports_logged_as_satisfied_noop():
     coordinator = make_coordinator()
     coordinator.evaluate(now=0.0, other_dedicated=[0, 0, 0])

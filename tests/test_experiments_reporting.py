@@ -1,0 +1,72 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+import subprocess
+import sys
+import os
+
+from repro.experiments.reporting import _fmt, emit, format_series, format_table
+
+
+def test_format_table_empty_rows():
+    text = format_table(["a", "bb"], [])
+    lines = text.splitlines()
+    assert lines[0].split() == ["a", "bb"]
+    assert set(lines[1]) <= {"-", " "}
+    assert len(lines) == 2
+
+
+def test_format_table_with_title():
+    text = format_table(["x"], [[1]], title="T")
+    assert text.splitlines()[0] == "T"
+
+
+def test_format_table_alignment_widths():
+    text = format_table(["col"], [["wide-cell"], ["x"]])
+    lines = text.splitlines()
+    # All rows padded to the widest cell.
+    assert len(set(len(line) for line in lines)) == 1
+
+
+def test_format_table_ragged_row_longer_than_headers():
+    # Extra cells beyond the headers must not crash; they get their
+    # own (unnamed) column.
+    text = format_table(["a"], [[1, 2, 3]])
+    assert "2" in text and "3" in text
+
+
+def test_format_table_ragged_row_shorter_than_headers():
+    text = format_table(["a", "b", "c"], [[1]])
+    assert "1" in text
+
+
+def test_format_series_zips_columns():
+    text = format_series(["i", "v"], [[1, 2], [10.0, 20.0]])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header + rule + 2 rows
+    assert "10.000" in lines[2]
+
+
+def test_fmt_float_precision():
+    assert _fmt(1.23456) == "1.235"
+    assert _fmt(1234.5) == "1234"  # large floats drop decimals
+    assert _fmt(-0.5) == "-0.500"
+    assert _fmt(7) == "7"
+    assert _fmt("s") == "s"
+
+
+def test_emit_writes_line(capsys):
+    emit("hello")
+    emit()
+    captured = capsys.readouterr()
+    assert captured.out == "hello\n\n"
+
+
+def test_no_stray_prints_in_library():
+    """The AST lint must pass on the current tree."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    result = subprocess.run(
+        [sys.executable, os.path.join(root, "tools", "check_no_prints.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr

@@ -1,0 +1,154 @@
+"""End-to-end telemetry tests: exports, determinism, zero overhead.
+
+The non-negotiable invariants of the telemetry layer:
+
+- artifacts (JSONL trace, Prometheus text, Chrome/Perfetto timeline)
+  are produced and parse for a short instrumented run;
+- telemetry never touches RNG streams or event ordering — the golden
+  workload trace is bit-identical with telemetry enabled;
+- the fork-server and cold sweep paths produce identical results *and*
+  byte-identical telemetry trees, for any ``jobs`` value.
+"""
+
+import json
+import os
+
+import repro.telemetry as telemetry_mod
+from repro.telemetry.exporters import (
+    METRICS_JSON_FILE,
+    METRICS_TEXT_FILE,
+    TIMELINE_FILE,
+    TRACE_FILE,
+)
+from repro.experiments.figure2 import run_figure2, run_goal_sweep
+from repro.workload.trace import TraceRecorder
+
+from tests.golden_trace import (
+    CONFIG,
+    GOAL_RANGE,
+    GOLDEN_PATH,
+    INTERVALS,
+    SEED,
+    WARMUP_MS,
+)
+
+
+def _short_figure2(telemetry=None, recorder=None):
+    return run_figure2(
+        seed=SEED,
+        intervals=INTERVALS,
+        config=CONFIG,
+        goal_range=GOAL_RANGE,
+        warmup_ms=WARMUP_MS,
+        recorder=recorder,
+        telemetry=telemetry,
+    )
+
+
+def test_short_figure2_produces_parsing_artifacts(tmp_path):
+    outdir = str(tmp_path / "tel")
+    _short_figure2(telemetry=outdir)
+
+    # JSONL trace: one JSON object per line, each with kind and time.
+    trace_path = os.path.join(outdir, TRACE_FILE)
+    with open(trace_path, "r", encoding="utf-8") as fh:
+        records = [json.loads(line) for line in fh]
+    assert records
+    kinds = {r["kind"] for r in records}
+    assert {"agent_report", "decision", "interval"} <= kinds
+    assert all("t" in r for r in records)
+
+    # Prometheus text exposition: TYPE lines plus name{labels} value.
+    with open(os.path.join(outdir, METRICS_TEXT_FILE)) as fh:
+        prom = fh.read().splitlines()
+    assert any(line.startswith("# TYPE repro_") for line in prom)
+    for line in prom:
+        if line.startswith("#") or not line:
+            continue
+        name_part, value = line.rsplit(" ", 1)
+        float(value)  # every sample value must parse
+        assert name_part.startswith("repro_")
+
+    # Chrome trace-event timeline (Perfetto-loadable).
+    with open(os.path.join(outdir, TIMELINE_FILE)) as fh:
+        timeline = json.load(fh)
+    assert timeline["displayTimeUnit"] == "ms"
+    events = timeline["traceEvents"]
+    assert events
+    phases = {e["ph"] for e in events}
+    assert "M" in phases  # process/thread metadata
+    assert "X" in phases or "i" in phases
+    assert all("ts" in e for e in events if e["ph"] != "M")
+
+    # Metrics JSON dump.
+    with open(os.path.join(outdir, METRICS_JSON_FILE)) as fh:
+        metrics = json.load(fh)
+    assert any(
+        m["name"] == "repro_page_access_total"
+        for m in metrics["metrics"]
+    )
+
+
+def test_golden_trace_bit_identical_with_telemetry(tmp_path):
+    """Telemetry must not perturb RNG draws or event ordering."""
+    golden = TraceRecorder.load(GOLDEN_PATH).records
+    recorder = TraceRecorder()
+    _short_figure2(telemetry=str(tmp_path / "tel"), recorder=recorder)
+    assert recorder.records == golden
+
+
+def test_module_flag_attaches_pipeline_without_exports():
+    telemetry_mod.enable()
+    try:
+        data_on = _short_figure2()
+    finally:
+        telemetry_mod.disable()
+    data_off = _short_figure2()
+    assert data_on.observed_rt == data_off.observed_rt
+    assert data_on.dedicated_bytes == data_off.dedicated_bytes
+
+
+def _telemetry_tree(root):
+    tree = {}
+    for dirpath, dirnames, files in os.walk(root):
+        dirnames.sort()
+        for name in sorted(files):
+            path = os.path.join(dirpath, name)
+            with open(path, "rb") as fh:
+                tree[os.path.relpath(path, root)] = fh.read()
+    return tree
+
+
+def _sweep(tmp_path, label, runner, jobs):
+    outdir = str(tmp_path / label)
+    data = run_goal_sweep(
+        goals=[3.0, 6.0],
+        seed=5,
+        replicates=1,
+        intervals=3,
+        config=CONFIG,
+        goal_range=GOAL_RANGE,
+        warmup_ms=WARMUP_MS,
+        jobs=jobs,
+        runner=runner,
+        telemetry=outdir,
+    )
+    points = [
+        (p.goal_ms, p.observed_rt, p.dedicated_bytes, p.p95_rt_ms)
+        for p in data.points
+    ]
+    return points, _telemetry_tree(outdir)
+
+
+def test_fork_and_cold_telemetry_trees_identical(tmp_path):
+    points_fork, tree_fork = _sweep(tmp_path, "fork", "fork", 1)
+    points_cold, tree_cold = _sweep(tmp_path, "cold", "cold", 1)
+    assert points_fork == points_cold
+    assert tree_fork == tree_cold
+
+
+def test_jobs_do_not_change_telemetry(tmp_path):
+    points_1, tree_1 = _sweep(tmp_path, "j1", "cold", 1)
+    points_2, tree_2 = _sweep(tmp_path, "j2", "cold", 2)
+    assert points_1 == points_2
+    assert tree_1 == tree_2

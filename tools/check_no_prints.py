@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Lint: no bare ``print(`` calls inside the library.
+
+Experiment and library code must report through the telemetry layer
+(:mod:`repro.telemetry`) or the sanctioned stdout path
+(:func:`repro.experiments.reporting.emit`); stray prints bypass both
+and break consumers that parse the CLI output.  The check walks the
+AST — not the raw text — so ``print`` mentioned in docstrings or
+comments does not trip it.
+
+Allowed files: ``cli.py`` (the CLI *is* the stdout boundary) and
+``experiments/reporting.py`` (home of ``emit``).
+
+Usage::
+
+    python tools/check_no_prints.py [SRC_DIR]
+
+Exits non-zero listing every offending ``file:line``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+#: Paths (relative to the package root) where print calls are allowed.
+ALLOWED = frozenset({
+    os.path.join("src", "repro", "cli.py"),
+    os.path.join("src", "repro", "experiments", "reporting.py"),
+})
+
+
+def find_prints(path: str):
+    """Yield line numbers of bare ``print(...)`` calls in one file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=path)
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield node.lineno
+
+
+def main(argv) -> int:
+    root = argv[1] if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    src = os.path.join(root, "src", "repro")
+    failures = []
+    for dirpath, dirnames, filenames in os.walk(src):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            if rel in ALLOWED:
+                continue
+            for lineno in find_prints(path):
+                failures.append(f"{rel}:{lineno}")
+    if failures:
+        sys.stderr.write(
+            "bare print() calls found (use repro.telemetry or "
+            "repro.experiments.reporting.emit instead):\n"
+        )
+        for failure in failures:
+            sys.stderr.write(f"  {failure}\n")
+        return 1
+    sys.stdout.write("no stray print() calls in src/repro\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
