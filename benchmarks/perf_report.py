@@ -38,6 +38,7 @@ sys.path.insert(
 
 from repro.cluster.cluster import Cluster  # noqa: E402
 from repro.cluster.config import SystemConfig  # noqa: E402
+from repro.experiments.reporting import emit  # noqa: E402
 from repro.sim.engine import Environment  # noqa: E402
 from repro.sim.resources import Resource  # noqa: E402
 
@@ -61,23 +62,46 @@ BASELINE_SECONDS = {
 EVENT_COUNT = 10_000
 ACCESS_COUNT = 2_000
 
-#: Pre-change (commit ``93909c8``) scaling references for this machine:
-#: seconds (best of 6, interleaved with the optimized tree) for the
-#: access benches, peak tracemalloc bytes for the heat-memory bench.
+#: Pre-columnar (commit ``93909c8``) scaling references for this
+#: machine: seconds (best of 6, interleaved with the optimized tree)
+#: for the access benches, peak tracemalloc bytes for the heat-memory
+#: probes.  Populated by the interleaved baseline session that
+#: accompanied the columnar-hot-state change; rows the old tree was
+#: never measured on are simply absent.
 SCALING_BASELINE = {
-    "hot_access_8_nodes": 0.5295,
-    "hot_access_16_nodes": 0.5382,
-    "hot_access_32_nodes": 0.5184,
-    "hot_access_64_nodes": 0.6903,
-    "mixed_access_32n_2000_pages": 0.4113,
-    "mixed_access_32n_8000_pages": 0.6072,
-    "mixed_access_32n_32000_pages": 1.3330,
+    "hot_access_8_nodes": 0.4085,
+    "hot_access_16_nodes": 0.3941,
+    "hot_access_32_nodes": 0.3882,
+    "hot_access_64_nodes": 0.5384,
+    "hot_access_128_nodes": 0.6198,
+    "hot_access_256_nodes": 1.1163,
+    "mixed_access_32n_2000_pages": 0.2838,
+    "mixed_access_32n_8000_pages": 0.4071,
+    "mixed_access_32n_32000_pages": 0.8571,
+    "mixed_access_32n_200000_pages": 0.9303,
+    "mixed_access_32n_1000000_pages": 0.7674,
+    "working_set_32n_8000_pages": 0.4637,
+    "working_set_32n_200000_pages": 0.4389,
+    "working_set_32n_1000000_pages": 0.4356,
     "heat_memory_200k_pages": 341_850_185,
+    "heat_memory_1m_pages": 1_677_821_985,
 }
 
 HOT_ACCESS_COUNT = 30_000   # hit-dominated accesses per hot bench run
 MIXED_ACCESS_COUNT = 20_000  # accesses per database-size bench run
-HEAT_PAGE_COUNT = 200_000   # pages tracked by the heat-memory bench
+
+#: Node counts of the hot-access rows and database sizes of the mixed
+#: and fixed-working-set rows; the ``--quick`` CI subset keeps one
+#: small and one large point per family.
+HOT_NODE_COUNTS = (8, 16, 32, 64, 128, 256)
+MIXED_PAGE_COUNTS = (2_000, 8_000, 32_000, 200_000, 1_000_000)
+WORKING_SET_TABLES = (8_000, 200_000, 1_000_000)
+WORKING_SET_PAGES = 8_000   # pages actually touched by the sweep rows
+QUICK_HOT_NODE_COUNTS = (16, 64)
+QUICK_MIXED_PAGE_COUNTS = (8_000, 32_000)
+QUICK_WORKING_SET_TABLES = (8_000, 1_000_000)
+HEAT_PAGE_COUNTS = (200_000, 1_000_000)  # heat-memory probe sizes
+QUICK_HEAT_PAGE_COUNTS = (200_000,)
 
 
 def best_of(setup, run, repeats: int) -> float:
@@ -203,13 +227,8 @@ def bench_figure2_wallclock() -> float:
     return time.perf_counter() - start
 
 
-def bench_hot_access(num_nodes: int, repeats: int) -> float:
-    """Hit-dominated page accesses on a ``num_nodes``-node cluster.
-
-    2 MB buffers over a 4000-page database keep most accesses local
-    once warm, so this isolates the per-access bookkeeping (heat,
-    benefit repricing, directory) from disk and network service times.
-    """
+def _hot_access_workload(num_nodes: int):
+    """Setup/run pair for the hit-dominated hot-access bench."""
     from repro.cluster.config import NodeParameters
 
     pages = 4_000
@@ -226,26 +245,34 @@ def bench_hot_access(num_nodes: int, repeats: int) -> float:
         )
 
     def run(cluster):
+        access_run = cluster.access_run
+
         def proc():
             for i in range(n):
                 node = i % num_nodes
-                yield from cluster.access_page(
-                    node, (node * 117 + i * 13) % pages, class_id=0
+                yield from access_run(
+                    node, ((node * 117 + i * 13) % pages,), 0
                 )
 
         cluster.env.process(proc())
         cluster.env.run()
 
+    return setup, run
+
+
+def bench_hot_access(num_nodes: int, repeats: int) -> float:
+    """Hit-dominated page accesses on a ``num_nodes``-node cluster.
+
+    2 MB buffers over a 4000-page database keep most accesses local
+    once warm, so this isolates the per-access bookkeeping (heat,
+    benefit repricing, directory) from disk and network service times.
+    """
+    setup, run = _hot_access_workload(num_nodes)
     return best_of(setup, run, repeats)
 
 
-def bench_mixed_access(num_pages: int, repeats: int) -> float:
-    """Default-size buffers over a ``num_pages``-page database (32 nodes).
-
-    Grows the database at fixed cache size, so the miss rate — and
-    with it eviction/repricing and directory churn — rises with
-    ``num_pages``.
-    """
+def _mixed_access_workload(num_pages: int):
+    """Setup/run pair for the growing-database mixed bench."""
     n = MIXED_ACCESS_COUNT
     nodes = 32
 
@@ -255,20 +282,94 @@ def bench_mixed_access(num_pages: int, repeats: int) -> float:
         )
 
     def run(cluster):
+        access_run = cluster.access_run
+
         def proc():
             for i in range(n):
-                yield from cluster.access_page(
-                    i % nodes, (i * 7) % num_pages, class_id=0
+                yield from access_run(
+                    i % nodes, ((i * 7) % num_pages,), 0
                 )
 
         cluster.env.process(proc())
         cluster.env.run()
 
+    return setup, run
+
+
+def bench_mixed_access(num_pages: int, repeats: int) -> float:
+    """Default-size buffers over a ``num_pages``-page database (32 nodes).
+
+    Grows the database at fixed cache size, so the miss rate — and
+    with it eviction/repricing and directory churn — rises with
+    ``num_pages``; past the point where every access misses (32k pages
+    and up) the curve isolates how access cost scales with the *size*
+    of the hot-state structures.
+    """
+    setup, run = _mixed_access_workload(num_pages)
     return best_of(setup, run, repeats)
 
 
-def bench_heat_memory() -> int:
-    """Peak bytes to heat-track 200k pages (two accesses each, k=2).
+def _working_set_workload(num_pages: int):
+    """Setup/run pair for the fixed-working-set sweep.
+
+    Always touches :data:`WORKING_SET_PAGES` distinct pages — strided
+    across the id space so they hit every region of the columns — while
+    the *database* (and with it the directory, heat, and pool keyspace)
+    grows to ``num_pages``.  Hit/miss mix is therefore identical in
+    every row, and any µs/access growth measures pure data-structure
+    scaling: the property the columnar layout is meant to flatten.
+    """
+    n = MIXED_ACCESS_COUNT
+    nodes = 32
+    stride = num_pages // WORKING_SET_PAGES
+
+    def setup():
+        return Cluster(
+            SystemConfig(num_nodes=nodes, num_pages=num_pages), seed=0
+        )
+
+    def run(cluster):
+        access_run = cluster.access_run
+
+        def proc():
+            for i in range(n):
+                yield from access_run(
+                    i % nodes,
+                    (((i * 7) % WORKING_SET_PAGES) * stride,),
+                    0,
+                )
+
+        cluster.env.process(proc())
+        cluster.env.run()
+
+    return setup, run
+
+
+def bench_working_set(num_pages: int, repeats: int) -> float:
+    """Fixed 8k-page working set over a ``num_pages``-page database."""
+    setup, run = _working_set_workload(num_pages)
+    return best_of(setup, run, repeats)
+
+
+def traced_peak(setup, run) -> int:
+    """Peak tracemalloc bytes of one fresh ``run(setup())``.
+
+    Runs *after* the timing repeats (tracemalloc instruments every
+    allocation, roughly doubling runtime), so the timed numbers stay
+    clean while each row still reports its memory high-water mark.
+    """
+    import tracemalloc
+
+    state = setup()
+    tracemalloc.start()
+    run(state)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def bench_heat_memory(page_count: int) -> int:
+    """Peak bytes to heat-track ``page_count`` pages (two accesses, k=2).
 
     One local tracker plus the global registry, the per-node pairing
     every big-database simulation carries.  Deterministic, so no
@@ -281,7 +382,7 @@ def bench_heat_memory() -> int:
     tracemalloc.start()
     tracker = HeatTracker(k=2)
     registry = GlobalHeatRegistry(k=2)
-    for page in range(HEAT_PAGE_COUNT):
+    for page in range(page_count):
         tracker.record(page, 1.0)
         tracker.record(page, 2.0)
         registry.record(page, 1.0)
@@ -291,13 +392,16 @@ def bench_heat_memory() -> int:
     return peak
 
 
-def build_scaling_report(repeats: int) -> dict:
+def build_scaling_report(repeats: int, quick: bool = False) -> dict:
     benchmarks = {}
 
-    def record(name, seconds, accesses):
+    def record(name, workload, accesses):
+        setup, run = workload
+        seconds = best_of(setup, run, repeats)
         entry = {
             "seconds": round(seconds, 6),
             "us_per_access": round(seconds / accesses * 1e6, 2),
+            "tracemalloc_peak_bytes": traced_peak(setup, run),
         }
         baseline = SCALING_BASELINE.get(name)
         if baseline is not None:
@@ -305,31 +409,62 @@ def build_scaling_report(repeats: int) -> dict:
             entry["speedup"] = round(baseline / seconds, 2)
         benchmarks[name] = entry
 
-    for nodes in (8, 16, 32, 64):
+    hot_nodes = QUICK_HOT_NODE_COUNTS if quick else HOT_NODE_COUNTS
+    mixed_pages = (
+        QUICK_MIXED_PAGE_COUNTS if quick else MIXED_PAGE_COUNTS
+    )
+    tables = (
+        QUICK_WORKING_SET_TABLES if quick else WORKING_SET_TABLES
+    )
+    heat_pages = QUICK_HEAT_PAGE_COUNTS if quick else HEAT_PAGE_COUNTS
+
+    for nodes in hot_nodes:
         record(
             f"hot_access_{nodes}_nodes",
-            bench_hot_access(nodes, repeats),
+            _hot_access_workload(nodes),
             HOT_ACCESS_COUNT,
         )
-    for pages in (2_000, 8_000, 32_000):
+    for pages in mixed_pages:
         record(
             f"mixed_access_32n_{pages}_pages",
-            bench_mixed_access(pages, repeats),
+            _mixed_access_workload(pages),
+            MIXED_ACCESS_COUNT,
+        )
+    for pages in tables:
+        record(
+            f"working_set_32n_{pages}_pages",
+            _working_set_workload(pages),
             MIXED_ACCESS_COUNT,
         )
 
-    peak = bench_heat_memory()
-    baseline_peak = SCALING_BASELINE["heat_memory_200k_pages"]
-    benchmarks["heat_memory_200k_pages"] = {
-        "peak_bytes": peak,
-        "baseline_peak_bytes": baseline_peak,
-        "reduction": round(1.0 - peak / baseline_peak, 3),
-    }
+    # Flatness headline: the 1M-page fixed-working-set row against the
+    # 8k one (same hit/miss mix, 125x the table), the quantitative pin
+    # behind "roughly flat µs/access from 8k to 1M pages".
+    small = benchmarks.get("working_set_32n_8000_pages")
+    large = benchmarks.get("working_set_32n_1000000_pages")
+    if small and large:
+        benchmarks["working_set_flatness"] = {
+            "ratio_1m_vs_8k": round(
+                large["seconds"] / small["seconds"], 3
+            ),
+        }
+
+    for pages in heat_pages:
+        label = "200k" if pages == 200_000 else "1m"
+        name = f"heat_memory_{label}_pages"
+        peak = bench_heat_memory(pages)
+        entry = {"peak_bytes": peak}
+        baseline_peak = SCALING_BASELINE.get(name)
+        if baseline_peak is not None:
+            entry["baseline_peak_bytes"] = baseline_peak
+            entry["reduction"] = round(1.0 - peak / baseline_peak, 3)
+        benchmarks[name] = entry
 
     return {
         "python": platform.python_version(),
         "platform": platform.platform(),
         "repeats": repeats,
+        "quick": quick,
         "benchmarks": benchmarks,
     }
 
@@ -562,6 +697,11 @@ def main(argv=None) -> None:
              f"{SWEEP_REPORT_PATH.name})",
     )
     parser.add_argument(
+        "--quick", action="store_true",
+        help="with --scaling: run the CI subset (one small and one "
+             "large point per row family) instead of the full sweep",
+    )
+    parser.add_argument(
         "--telemetry-overhead", action="store_true",
         help="measure the telemetry layer's cost, off vs. attached "
              f"(writes {TELEMETRY_REPORT_PATH.name})",
@@ -584,14 +724,14 @@ def main(argv=None) -> None:
         out = args.out if args.out is not None else SWEEP_REPORT_PATH
     elif args.scaling:
         repeats = args.repeats if args.repeats != 20 else 6
-        report = build_scaling_report(repeats)
+        report = build_scaling_report(repeats, quick=args.quick)
         out = args.out if args.out is not None else SCALING_REPORT_PATH
     else:
         report = build_report(args.repeats)
         out = args.out if args.out is not None else REPORT_PATH
     out.write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
-    print(f"\nreport written to {out}")
+    emit(json.dumps(report, indent=2))
+    emit(f"\nreport written to {out}")
 
 
 if __name__ == "__main__":

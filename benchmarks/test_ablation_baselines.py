@@ -8,7 +8,7 @@ at least as good as the single-server heuristics it generalizes.
 
 from repro.baselines import make_controller
 from repro.cluster.cluster import Cluster
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import emit, format_table
 from repro.experiments.runner import default_workload
 from repro.workload.generator import WorkloadGenerator
 
@@ -48,8 +48,8 @@ def test_baseline_comparison(benchmark, bench_config):
         ]
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
-    print()
-    print(format_table(
+    emit()
+    emit(format_table(
         ["strategy", "first satisfied (interval)", "satisfied ratio"],
         [
             [r["strategy"],

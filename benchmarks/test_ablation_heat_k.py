@@ -9,7 +9,7 @@ the resulting storage-level mix.
 
 from repro.bufmgr.costs import AccessLevel
 from repro.cluster.cluster import Cluster
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import emit, format_table
 from repro.experiments.runner import default_workload
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.trace import TraceRecorder, TraceReplayer
@@ -55,8 +55,8 @@ def test_heat_k_sweep(benchmark, bench_config):
         ]
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
-    print()
-    print(format_table(
+    emit()
+    emit(format_table(
         ["K", "disk fraction", "local fraction"],
         [
             [r["k"], r["disk_fraction"], r["local_fraction"]]

@@ -9,7 +9,7 @@ behaviour.
 
 from dataclasses import replace
 
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import emit, format_table
 from repro.experiments.runner import Simulation, default_workload
 
 INTERVALS_MS = (2000.0, 4000.0, 8000.0)
@@ -46,8 +46,8 @@ def test_interval_sensitivity(benchmark, bench_config):
         ]
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
-    print()
-    print(format_table(
+    emit()
+    emit(format_table(
         ["interval (ms)", "intervals", "first satisfied (ms)",
          "satisfied ratio"],
         [

@@ -12,7 +12,7 @@ from repro.cluster.cluster import Cluster
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.trace import TraceRecorder, TraceReplayer
 from repro.experiments.runner import default_workload
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import emit, format_table
 
 
 def record_trace(config, horizon_ms=120_000.0, seed=42):
@@ -54,8 +54,8 @@ def test_costbased_vs_lru(benchmark, bench_config):
         ]
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
-    print()
-    print(format_table(
+    emit()
+    emit(format_table(
         ["policy", "disk", "remote", "local", "ops"],
         [
             [r["policy"], r["disk_fraction"], r["remote_fraction"],

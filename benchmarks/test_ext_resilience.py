@@ -6,7 +6,7 @@ disk), and the feedback loop must re-converge without intervention —
 the strongest form of the paper's adaptivity claim.
 """
 
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import emit, format_table
 from repro.experiments.runner import Simulation, default_workload
 
 
@@ -35,8 +35,8 @@ def test_restart_recovery(benchmark, bench_config):
         }
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
-    print()
-    print(format_table(
+    emit()
+    emit(format_table(
         ["metric", "value"],
         [[k, v] for k, v in result.items()],
         title="Extension: node restart resilience",

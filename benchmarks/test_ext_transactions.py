@@ -7,7 +7,7 @@ update-heavy mixes pay for prepares, log forces, and invalidations.
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import SystemConfig
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import emit, format_table
 from repro.txn import DeadlockError, TransactionManager
 
 WRITE_FRACTIONS = (0.0, 0.2, 0.5)
@@ -69,8 +69,8 @@ def test_write_fraction_sweep(benchmark):
         return [run_mix(wf) for wf in WRITE_FRACTIONS]
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
-    print()
-    print(format_table(
+    emit()
+    emit(format_table(
         ["write frac", "committed", "aborted", "deadlocks",
          "mean latency (ms)", "log forces"],
         [

@@ -12,7 +12,7 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import SystemConfig
 from repro.core.controller import GoalOrientedController
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import emit, format_table
 from repro.experiments.runner import default_workload
 from repro.workload.generator import WorkloadGenerator
 
@@ -61,8 +61,8 @@ def test_variance_objective(benchmark, bench_config):
         ]
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
-    print()
-    print(format_table(
+    emit()
+    emit(format_table(
         ["objective", "cross-node RT spread (ms)", "satisfied ratio"],
         [
             [r["objective"], r["mean_spread_ms"],

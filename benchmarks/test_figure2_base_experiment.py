@@ -9,6 +9,7 @@ observation intervals.
 """
 
 from repro.experiments.figure2 import run_figure2
+from repro.experiments.reporting import emit
 
 
 def test_figure2_series(benchmark, paper_config, paper_goal_range):
@@ -22,10 +23,10 @@ def test_figure2_series(benchmark, paper_config, paper_goal_range):
         rounds=1,
         iterations=1,
     )
-    print()
-    print(data.to_text())
-    print(f"satisfaction ratio: {data.satisfaction_ratio():.2f}")
-    print(f"corr(RT, dedicated): {data.rt_tracks_memory():.2f}")
+    emit()
+    emit(data.to_text())
+    emit(f"satisfaction ratio: {data.satisfaction_ratio():.2f}")
+    emit(f"corr(RT, dedicated): {data.rt_tracks_memory():.2f}")
 
     assert len(data.intervals) == 60
     # The response time tracks the dedicated buffer inversely (the

@@ -14,7 +14,7 @@ import numpy as np
 from repro.core.controller import GoalOrientedController
 from repro.core.coordinator import Coordinator
 from repro.experiments.multiclass import multiclass_workload
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import emit, format_table
 from repro.experiments.runner import Simulation
 from repro.workload.generator import WorkloadGenerator
 from repro.cluster.cluster import Cluster
@@ -132,8 +132,8 @@ def test_lp_shares_memory_where_greedy_starves(benchmark, bench_config):
         ]
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
-    print()
-    print(format_table(
+    emit()
+    emit(format_table(
         ["strategy", "k1 goal met", "k2 goal met", "k2 rt (ms)",
          "k1 dedicated (KB)", "k2 dedicated (KB)"],
         [

@@ -5,6 +5,7 @@ complex operations ... or a larger number of nodes"; these benches run
 both axes and assert convergence still happens.
 """
 
+from repro.experiments.reporting import emit
 from repro.experiments.scaling import (
     run_complexity_scaling,
     run_node_scaling,
@@ -20,8 +21,8 @@ def test_node_scaling(benchmark, bench_config):
         rounds=1,
         iterations=1,
     )
-    print()
-    print(to_text(points, "Scaling: number of nodes"))
+    emit()
+    emit(to_text(points, "Scaling: number of nodes"))
     for point in points:
         assert point.first_satisfied is not None, (
             f"{point.label}: goal never satisfied"
@@ -40,8 +41,8 @@ def test_complexity_scaling(benchmark, bench_config):
         rounds=1,
         iterations=1,
     )
-    print()
-    print(to_text(points, "Scaling: operation complexity"))
+    emit()
+    emit(to_text(points, "Scaling: operation complexity"))
     for point in points:
         assert point.first_satisfied is not None, (
             f"{point.label}: goal never satisfied"

@@ -13,6 +13,7 @@ from repro.experiments.multiclass import (
     run_sharing_point,
     run_sharing_sweep,
 )
+from repro.experiments.reporting import emit
 from repro.experiments.runner import Simulation
 
 SHARINGS = (0.0, 0.5, 1.0)
@@ -26,8 +27,8 @@ def test_sharing_sweep(benchmark):
         rounds=1,
         iterations=1,
     )
-    print()
-    print(result.to_text())
+    emit()
+    emit(result.to_text())
     points = {p.sharing: p for p in result.points}
 
     # (b) k2's dedicated memory shrinks as sharing rises.

@@ -5,6 +5,7 @@ traffic, insignificant CPU cost, and very little extra memory.
 """
 
 from repro.experiments.overhead import run_overhead
+from repro.experiments.reporting import emit
 
 
 def test_overhead(benchmark, paper_config):
@@ -15,8 +16,8 @@ def test_overhead(benchmark, paper_config):
         rounds=1,
         iterations=1,
     )
-    print()
-    print(result.to_text())
+    emit()
+    emit(result.to_text())
 
     # The paper's headline number: control traffic < 0.1 %.
     assert result.control_fraction < 0.001

@@ -8,6 +8,7 @@ the total stays in the low-millisecond range.
 
 import pytest
 
+from repro.experiments.reporting import emit
 from repro.experiments.table1 import (
     PAPER_NODE_COUNTS,
     build_problem,
@@ -54,8 +55,8 @@ def test_table1_shape_matches_paper(benchmark):
         rounds=1,
         iterations=1,
     )
-    print()
-    print(to_text(rows))
+    emit()
+    emit(to_text(rows))
     overall = [row.overall_ms for row in rows]
     # Shape 1: overall cost grows with N.
     assert overall[-1] > overall[0]

@@ -15,7 +15,7 @@ from repro.experiments.convergence import (
     ConvergenceSettings,
     convergence_experiment,
 )
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import emit, format_table
 from repro.experiments.table2 import PAPER_TABLE2
 
 BENCH_SKEWS = (0.0, 0.5, 1.0)
@@ -51,8 +51,8 @@ def test_table2_convergence(benchmark, paper_config, paper_goal_range):
          PAPER_TABLE2[r.skew]]
         for r in results
     ]
-    print()
-    print(format_table(
+    emit()
+    emit(format_table(
         ["skew", "iterations", "ci", "samples", "paper"], rows,
         title="Table 2 (benchmark scale)",
     ))

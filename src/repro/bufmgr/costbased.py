@@ -69,9 +69,18 @@ class BenefitModel:
 
     def benefit(self, page_id: int) -> float:
         """Expected cost saved per time unit by keeping ``page_id``."""
+        return self.benefit_at(page_id, self.clock())
+
+    def benefit_at(self, page_id: int, now: float) -> float:
+        """:meth:`benefit` priced at an explicit ``now``.
+
+        Simulated time is frozen while an eviction runs, so a victim
+        scan pricing ``revalidate`` candidates can read the clock once
+        and share it — the values are exactly those ``benefit`` would
+        return.
+        """
         if self._cost_version != self.costs.version:
             self._refresh_costs()
-        now = self.clock()
         value = self.local_heat.heat(page_id, now) * self._keep_spread
         if self._is_last_copy(page_id, self.node_id):
             value += (
@@ -168,23 +177,68 @@ class CostBasedPool(BufferPool):
 
         Each candidate is priced exactly once: the fresh benefit drives
         both the victim comparison and the re-push of the survivors, so
-        no page is priced twice within one eviction.
+        no page is priced twice within one eviction.  The candidate
+        scan inlines :meth:`_pop_valid` with the heap/dict bindings
+        hoisted — this loop runs once per eviction, which at a high
+        miss rate means once per access.
         """
-        benefit = self.model.benefit
+        model = self.model
+        benefit_at = model.benefit_at
+        now = model.clock()
+        heap = self._heap
+        pages = self._pages
+        price = self._price
+        pages_get = pages.get
+        pop = heapq.heappop
         candidates = []
-        limit = min(self.revalidate, len(self._pages))
+        limit = min(self.revalidate, len(pages))
         for _ in range(limit):
-            _, page_id = self._pop_valid()
-            candidates.append((benefit(page_id), page_id))
+            # Inlined _pop_valid: drop superseded entries, re-sync
+            # price-drifted ones, stop at a live current-estimate entry.
+            while True:
+                entry = pop(heap)
+                page_id = entry[2]
+                if pages_get(page_id) != entry[1]:
+                    continue
+                current = price[page_id]
+                if current != entry[0]:
+                    self._push_priced(page_id, current)
+                    continue
+                break
+            candidates.append((benefit_at(page_id, now), page_id))
         best = min(candidates)
         victim = best[1]
+        push_priced = self._push_priced
         for entry in candidates:
             if entry[1] != victim:
-                self._push_priced(entry[1], entry[0])
+                push_priced(entry[1], entry[0])
         # The victim stays indexed until _discard removes it; restore
         # its entry so state is consistent even if the caller keeps it.
-        self._push_priced(victim, best[0])
+        push_priced(victim, best[0])
         return victim
+
+    def insert(self, page_id: int) -> list:
+        """Specialized :meth:`BufferPool.insert` for the miss path.
+
+        Identical decisions to the generic version; the membership,
+        length, and store steps hit ``_pages`` directly instead of
+        going through four abstract-method dispatches per admitted
+        page.
+        """
+        pages = self._pages
+        if page_id in pages:
+            self.touch(page_id)
+            return []
+        capacity = self._capacity
+        if capacity == 0:
+            return [page_id]
+        evicted = []
+        while len(pages) >= capacity:
+            victim = self._select_victim()
+            self._discard(victim)
+            evicted.append(victim)
+        self._push(page_id)
+        return evicted
 
     def _store(self, page_id: int) -> None:
         self._push(page_id)

@@ -17,6 +17,11 @@ from repro.sim.stats import OnlineStats
 class AccessLevel(Enum):
     """Where a page request was satisfied."""
 
+    # Identity hash (consistent with enum identity equality) keeps
+    # level-keyed dict probes off ``Enum.__hash__``, a Python-level
+    # call on an access-path-adjacent lookup.
+    __hash__ = object.__hash__
+
     LOCAL = "local"    # hit in a buffer of the requesting node
     REMOTE = "remote"  # shipped from another node's cache
     DISK = "disk"      # read from the home node's disk

@@ -11,20 +11,31 @@ only exists once an operation of that class touched the page, exactly
 as §6 prescribes to bound the overhead.
 
 The default ``k = 2`` — what every pool in the system uses — is
-specialized: access histories are plain ``(t_prev, t_last)`` tuples in
-one flat dict instead of a per-key ``deque``.  A ``deque`` costs one
-~600-byte heap object per tracked key plus an extra indirection on
-every ``heat()`` call; the tuple layout cuts the per-key footprint by
-roughly an order of magnitude on large databases without changing a
-single computed heat value (``len(h) / (now - h[0])`` is the same
-arithmetic either way).  General ``k`` keeps the deque path via the
-``_DequeHeatTracker`` fallback, chosen transparently in ``__new__``.
+specialized with a *columnar* layout: instead of one boxed history
+object per key (a tuple or deque), the tracker keeps two parallel
+``array('d')`` columns holding the previous and the latest access time,
+plus one slot dict mapping keys to column indices.  A slot freed by
+``forget`` goes onto a free-list and is reused by the next new key, so
+the columns stay bounded by the *peak* number of concurrently tracked
+keys no matter how much churn a long run generates.  The arithmetic is
+unchanged (``n / (now - oldest)``), so every computed heat value is
+bit-identical to the boxed layouts; what changes is the per-key
+footprint (16 bytes of column data instead of a GC-tracked container)
+and the garbage-collector pressure at millions of tracked pages.
+General ``k`` keeps a per-key deque via the ``_DequeHeatTracker``
+fallback, chosen transparently in ``__new__``.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
-from typing import Callable, Dict, Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, List, Optional
+
+#: Column sentinel: a key whose ``_t0`` column holds NaN has exactly one
+#: recorded access (in ``_t1``).  NaN is unreachable as a real access
+#: time and is self-identifying via ``x != x``.
+_ONE_ACCESS = float("nan")
 
 
 class HeatTracker:
@@ -33,12 +44,12 @@ class HeatTracker:
     Keys are arbitrary hashables — a page id for accumulated heat, a
     ``(class_id, page_id)`` pair for class-specific heat.
 
-    Instantiating with the default ``k=2`` yields the tuple-specialized
+    Instantiating with the default ``k=2`` yields the columnar
     tracker; any other ``k`` transparently constructs the deque-backed
     :class:`_DequeHeatTracker` fallback.
     """
 
-    __slots__ = ("k", "_history")
+    __slots__ = ("k", "_slots", "_t0", "_t1", "_free")
 
     def __new__(cls, k: int = 2):
         if cls is HeatTracker and k != 2:
@@ -49,16 +60,138 @@ class HeatTracker:
         if k < 1:
             raise ValueError("k must be >= 1")
         self.k = k
-        self._history: Dict[Hashable, Tuple[float, ...]] = {}
+        self._slots: Dict[Hashable, int] = {}
+        self._t0 = array("d")  # previous access time (NaN: only one)
+        self._t1 = array("d")  # latest access time
+        self._free: List[int] = []
 
     def record(self, key: Hashable, now: float) -> None:
         """Register one access to ``key`` at time ``now``."""
-        history = self._history
-        prev = history.get(key)
-        if prev is None:
-            history[key] = (now,)
+        slots = self._slots
+        slot = slots.get(key)
+        if slot is None:
+            free = self._free
+            if free:
+                slot = free.pop()
+                self._t0[slot] = _ONE_ACCESS
+                self._t1[slot] = now
+            else:
+                slot = len(self._t1)
+                self._t0.append(_ONE_ACCESS)
+                self._t1.append(now)
+            slots[key] = slot
         else:
-            history[key] = (prev[-1], now)
+            t1 = self._t1
+            self._t0[slot] = t1[slot]
+            t1[slot] = now
+
+    def record_slot(self, key: Hashable, now: float) -> int:
+        """:meth:`record`, returning the key's column slot.
+
+        Lets :class:`GlobalHeatRegistry` keep its per-page dissemination
+        counters in a column parallel to these, without a second key
+        lookup.
+        """
+        slots = self._slots
+        slot = slots.get(key)
+        if slot is None:
+            free = self._free
+            if free:
+                slot = free.pop()
+                self._t0[slot] = _ONE_ACCESS
+                self._t1[slot] = now
+            else:
+                slot = len(self._t1)
+                self._t0.append(_ONE_ACCESS)
+                self._t1.append(now)
+            slots[key] = slot
+        else:
+            t1 = self._t1
+            self._t0[slot] = t1[slot]
+            t1[slot] = now
+        return slot
+
+    def heat(self, key: Hashable, now: float) -> float:
+        """Estimated accesses per time unit for ``key`` (0.0 if unknown)."""
+        slot = self._slots.get(key)
+        if slot is None:
+            return 0.0
+        t0 = self._t0[slot]
+        if t0 != t0:  # NaN: a single recorded access
+            span = now - self._t1[slot]
+            if span <= 0.0:
+                # All recorded accesses happened "now"; treat as very hot.
+                return 1.0
+            return 1.0 / span
+        span = now - t0
+        if span <= 0.0:
+            return 2.0
+        return 2.0 / span
+
+    def forget(self, key: Hashable) -> None:
+        """Delete the bookkeeping for ``key`` (on-demand deletion, §6).
+
+        The key's column slot goes onto the free-list for reuse, so the
+        columns never grow past the peak number of tracked keys.
+        """
+        slot = self._slots.pop(key, None)
+        if slot is not None:
+            self._free.append(slot)
+
+    def slot_of(self, key: Hashable) -> Optional[int]:
+        """Column slot of ``key``, or None if untracked (inspection)."""
+        return self._slots.get(key)
+
+    def clear(self) -> None:
+        """Drop all bookkeeping (node restart)."""
+        self._slots.clear()
+        del self._free[:]
+        # Recreate instead of truncating: a restart should give the
+        # memory back, not keep peak-sized columns alive.
+        self._t0 = array("d")
+        self._t1 = array("d")
+
+    def tracked(self, key: Hashable) -> bool:
+        """True if any access to ``key`` is on record."""
+        return key in self._slots
+
+    @property
+    def column_slots(self) -> int:
+        """Allocated column length (live keys + free-list slots)."""
+        return len(self._t1)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+
+class _DequeHeatTracker(HeatTracker):
+    """General-``k`` fallback keeping the last K access times per key.
+
+    Keeps the boxed layout (one deque per key in ``_history``) and
+    overrides every column-touching method of :class:`HeatTracker`;
+    only the public API is shared.
+    """
+
+    __slots__ = ("_history",)
+
+    def __init__(self, k: int = 2):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._history: Dict[Hashable, deque] = {}
+
+    def record(self, key: Hashable, now: float) -> None:
+        """Register one access to ``key`` at time ``now``."""
+        history = self._history.get(key)
+        if history is None:
+            history = deque(maxlen=self.k)
+            self._history[key] = history
+        history.append(now)
+
+    def record_slot(self, key: Hashable, now: float) -> int:
+        """:meth:`record`; deques have no column slots, returns -1."""
+        self.record(key, now)
+        return -1
 
     def heat(self, key: Hashable, now: float) -> float:
         """Estimated accesses per time unit for ``key`` (0.0 if unknown)."""
@@ -67,13 +200,16 @@ class HeatTracker:
             return 0.0
         span = now - history[0]
         if span <= 0.0:
-            # All recorded accesses happened "now"; treat as very hot.
             return float(len(history))
         return len(history) / span
 
     def forget(self, key: Hashable) -> None:
         """Delete the bookkeeping for ``key`` (on-demand deletion, §6)."""
         self._history.pop(key, None)
+
+    def slot_of(self, key: Hashable) -> Optional[int]:
+        """Deques have no column slots; always None."""
+        return None
 
     def clear(self) -> None:
         """Drop all bookkeeping (node restart)."""
@@ -83,27 +219,13 @@ class HeatTracker:
         """True if any access to ``key`` is on record."""
         return key in self._history
 
-    def __len__(self) -> int:
+    @property
+    def column_slots(self) -> int:
+        """Boxed layout: one history object per live key."""
         return len(self._history)
 
-
-class _DequeHeatTracker(HeatTracker):
-    """General-``k`` fallback keeping the last K access times per key.
-
-    Shares every query method with :class:`HeatTracker` — a deque
-    supports ``len`` and ``[0]`` just like the tuple pairs — and only
-    ``record`` differs.
-    """
-
-    __slots__ = ()
-
-    def record(self, key: Hashable, now: float) -> None:
-        """Register one access to ``key`` at time ``now``."""
-        history = self._history.get(key)
-        if history is None:
-            history = deque(maxlen=self.k)
-            self._history[key] = history
-        history.append(now)
+    def __len__(self) -> int:
+        return len(self._history)
 
 
 class GlobalHeatRegistry:
@@ -114,9 +236,16 @@ class GlobalHeatRegistry:
     per ``update_threshold`` recorded accesses per page (the cluster
     wires this to HEAT_UPDATE message accounting), so the §7.5 traffic
     accounting reflects the dissemination cost.
+
+    With the default columnar tracker the per-page dissemination
+    counters live in an ``array('i')`` column parallel to the tracker's
+    time columns (slot-for-slot), instead of a dict that holds an entry
+    for nearly every tracked page in steady state.  The deque fallback
+    (``k != 2``) keeps the dict-based counters.
     """
 
-    __slots__ = ("_tracker", "_on_update", "_threshold", "_pending")
+    __slots__ = ("_tracker", "_on_update", "_threshold", "_pending",
+                 "_pending_col", "_pending_n")
 
     def __init__(self, k: int = 2,
                  on_update: Optional[Callable[[], None]] = None,
@@ -124,11 +253,36 @@ class GlobalHeatRegistry:
         self._tracker = HeatTracker(k)
         self._on_update = on_update
         self._threshold = max(1, update_threshold)
-        self._pending: Dict[int, int] = {}
+        if type(self._tracker) is HeatTracker:
+            self._pending: Optional[Dict[int, int]] = None
+            self._pending_col: Optional[array] = array("i")
+        else:
+            self._pending = {}
+            self._pending_col = None
+        self._pending_n = 0
 
     def record(self, page_id: int, now: float) -> None:
         """Register one access to ``page_id`` anywhere in the cluster."""
-        self._tracker.record(page_id, now)
+        slot = self._tracker.record_slot(page_id, now)
+        pend = self._pending_col
+        if pend is not None:
+            npend = len(pend)
+            if slot >= npend:
+                # Grow in lockstep with the tracker's columns (newly
+                # allocated slots start at a zero counter).
+                pend.extend(bytes(4 * (slot + 1 - npend)))
+            count = pend[slot] + 1
+            if count >= self._threshold:
+                pend[slot] = 0
+                if count > 1:
+                    self._pending_n -= 1
+                if self._on_update is not None:
+                    self._on_update()
+            else:
+                pend[slot] = count
+                if count == 1:
+                    self._pending_n += 1
+            return
         pending = self._pending
         count = pending.get(page_id, 0) + 1
         if count >= self._threshold:
@@ -152,18 +306,37 @@ class GlobalHeatRegistry:
         must NOT forget: cluster-wide heat is an access-frequency
         statistic that has to survive transient evictions for the
         last-copy benefit term to mean anything.
+
+        The page's column slot (time columns and pending counter alike)
+        is reclaimed through the tracker's free-list.
         """
+        pend = self._pending_col
+        if pend is not None:
+            slot = self._tracker.slot_of(page_id)
+            if slot is not None and pend[slot]:
+                pend[slot] = 0
+                self._pending_n -= 1
+        else:
+            self._pending.pop(page_id, None)
         self._tracker.forget(page_id)
-        self._pending.pop(page_id, None)
 
     def clear(self) -> None:
         """Drop every page's bookkeeping (cluster-wide reset)."""
         self._tracker.clear()
-        self._pending.clear()
+        if self._pending_col is not None:
+            self._pending_col = array("i")
+            self._pending_n = 0
+        else:
+            self._pending.clear()
 
     def tracked(self, page_id: int) -> bool:
         """True if any access to ``page_id`` is on record."""
         return self._tracker.tracked(page_id)
+
+    @property
+    def column_slots(self) -> int:
+        """Allocated tracker column length (churn-boundedness probe)."""
+        return self._tracker.column_slots
 
     def __len__(self) -> int:
         return len(self._tracker)
@@ -171,4 +344,6 @@ class GlobalHeatRegistry:
     @property
     def pending_count(self) -> int:
         """Pages currently part-way to their next update (inspection)."""
+        if self._pending_col is not None:
+            return self._pending_n
         return len(self._pending)

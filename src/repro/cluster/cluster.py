@@ -19,10 +19,10 @@ from repro.bufmgr.manager import NodeBufferManager
 from repro.cluster.config import SystemConfig
 from repro.cluster.database import Database
 from repro.cluster.directory import PageDirectory
-from repro.cluster.messages import MessageKind
+from repro.cluster.messages import MessageKind, message_size
 from repro.cluster.network import Network
 from repro.cluster.node import Node
-from repro.sim.engine import Environment
+from repro.sim.engine import Environment, Timeout
 from repro.sim.rng import RandomStreams
 
 
@@ -34,9 +34,10 @@ class Cluster:
         config: Optional[SystemConfig] = None,
         seed: int = 0,
         policy: str = "cost",
+        scheduler: str = "auto",
     ):
         self.config = config if config is not None else SystemConfig()
-        self.env = Environment()
+        self.env = Environment(scheduler=scheduler)
         self.rng = RandomStreams(seed)
         self.network = Network(self.env, self.config.network)
         self.database = Database(
@@ -45,7 +46,9 @@ class Cluster:
             self.config.num_nodes,
             self.config.placement,
         )
-        self.directory = PageDirectory(self.network)
+        self.directory = PageDirectory(
+            self.network, capacity=self.config.num_pages
+        )
         self.costs = CostObserver()
         self.global_heat = GlobalHeatRegistry(
             on_update=lambda: self.network.account_only(
@@ -69,6 +72,19 @@ class Cluster:
         self._instr_lookup = cpu.instructions_buffer_lookup
         self._instr_message = cpu.instructions_message
         self._instr_page_handling = cpu.instructions_page_handling
+        # Wire sizes and times of the two data-path messages are config
+        # constants; :meth:`access_run` charges them without going
+        # through message_size()/transfer_ms() per miss.
+        self._req_bytes = message_size(MessageKind.PAGE_REQUEST)
+        self._ship_bytes = message_size(
+            MessageKind.PAGE_SHIP, self.config.page_size
+        )
+        net = self.config.network
+        self._req_wire_ms = net.transfer_ms(self._req_bytes)
+        self._ship_wire_ms = net.transfer_ms(self._ship_bytes)
+        self._disk_read_ms = self.config.disk.access_ms(
+            self.config.page_size
+        )
         self.nodes: List[Node] = [
             Node(i, self.env, self.config)
             for i in range(self.config.num_nodes)
@@ -212,6 +228,228 @@ class Cluster:
             )
             yield from node.cpu.consume(self._instr_page_handling)
         return AccessLevel.DISK
+
+    def access_run(self, node_id: int, page_ids, class_id: int):
+        """Generator: a run of same-node, same-class page accesses.
+
+        Semantically a loop of :meth:`access_page` calls — the same
+        events in the same order with the same accounting, which the
+        batch-vs-loop parity test and the golden trace pin down — but
+        executed in ONE generator frame.  Where the reference path
+        suspends through ``access_page → _fetch → send_message →
+        transfer → occupy`` (every miss-path event resume walks that
+        whole chain, and each wrapper is a fresh generator object),
+        this loop hoists all attribute lookups, wire sizes, service
+        times, and telemetry/fault None-checks out of the per-page
+        body and holds uncontended resources through
+        :meth:`~repro.sim.resources.Resource.acquire_fast`, so each
+        resume crosses a single frame and a miss allocates no wrapper
+        generators.  Workload drivers (the open-system generator, the
+        trace replayer, the closed-loop clients) feed whole operations
+        through here.
+        """
+        env = self.env
+        # Timeouts are constructed directly (class call) rather than
+        # through the env.timeout factory: one call fewer per event on
+        # a path that schedules several events per miss.
+        timeout = Timeout
+        nodes = self.nodes
+        node = nodes[node_id]
+        directory = self.directory
+        buffers = node.buffers
+        probe = buffers.probe
+        admit = buffers.admit
+        contains = buffers.contains
+        unregister_many = directory.unregister_many
+        register = directory.register
+        remote_holder = directory.remote_holder
+        observe = self.costs.observe
+        database_home = self.database.home
+        network = self.network
+        medium = network.medium
+        record = network.accounting.record
+        cpu = node.cpu
+        cpu_res = cpu.resource
+        lookup_ms = self._instr_lookup / cpu._mips_ms
+        handling_ms = self._instr_page_handling / cpu._mips_ms
+        remote_instr = self._instr_message + self._instr_lookup
+        instr_message = self._instr_message
+        req_wire = self._req_wire_ms
+        ship_wire = self._ship_wire_ms
+        req_bytes = self._req_bytes
+        ship_bytes = self._ship_bytes
+        disk_read_ms = self._disk_read_ms
+        page_request = MessageKind.PAGE_REQUEST
+        page_ship = MessageKind.PAGE_SHIP
+        local_level = AccessLevel.LOCAL
+        remote_level = AccessLevel.REMOTE
+        disk_level = AccessLevel.DISK
+        faults = self.faults
+        telemetry = self.telemetry
+
+        for page_id in page_ids:
+            start = env._now
+            if faults is not None:
+                delay = faults.down_delay(node_id, start)
+                if delay > 0.0:
+                    yield timeout(env, delay)
+            # Buffer-lookup CPU charge, paid on every access.
+            if cpu_res.acquire_fast():
+                try:
+                    yield timeout(env, lookup_ms)
+                finally:
+                    cpu_res.release_fast()
+            else:
+                yield from cpu_res.occupy(lookup_ms)
+            hit, dropped = probe(page_id, class_id)
+            if dropped:
+                unregister_many(dropped, node_id)
+            if hit:
+                elapsed = env._now - start
+                observe(local_level, elapsed)
+                if telemetry is not None:
+                    telemetry.on_access(
+                        node_id, class_id, local_level, elapsed
+                    )
+                continue
+
+            # Miss: try a remote cached copy, else the home disk.
+            level = disk_level
+            remote_id = remote_holder(page_id, node_id)
+            if remote_id is not None:
+                wire = req_wire
+                if faults is not None and faults.extra_ms > 0.0:
+                    wire += faults.extra_ms
+                if medium.acquire_fast():
+                    try:
+                        yield timeout(env, wire)
+                    finally:
+                        medium.release_fast()
+                else:
+                    yield from medium.occupy(wire)
+                record(page_request, req_bytes)
+                remote = nodes[remote_id]
+                remote_res = remote.cpu.resource
+                service = remote_instr / remote.cpu._mips_ms
+                if remote_res.acquire_fast():
+                    try:
+                        yield timeout(env, service)
+                    finally:
+                        remote_res.release_fast()
+                else:
+                    yield from remote_res.occupy(service)
+                # The copy may have been evicted while our request was
+                # in flight; fall back to disk in that case.
+                if remote.buffers.contains(page_id):
+                    wire = ship_wire
+                    if faults is not None and faults.extra_ms > 0.0:
+                        wire += faults.extra_ms
+                    if medium.acquire_fast():
+                        try:
+                            yield timeout(env, wire)
+                        finally:
+                            medium.release_fast()
+                    else:
+                        yield from medium.occupy(wire)
+                    record(page_ship, ship_bytes)
+                    if cpu_res.acquire_fast():
+                        try:
+                            yield timeout(env, handling_ms)
+                        finally:
+                            cpu_res.release_fast()
+                    else:
+                        yield from cpu_res.occupy(handling_ms)
+                    level = remote_level
+            if level is disk_level:
+                home_id = database_home(page_id)
+                home = nodes[home_id]
+                if faults is not None and home_id != node_id:
+                    # The home disk is unreachable while its node
+                    # restarts.
+                    delay = faults.down_delay(home_id, env._now)
+                    if delay > 0.0:
+                        yield timeout(env, delay)
+                home_disk = home.disk
+                disk_res = home_disk.resource
+                disk_service = disk_read_ms
+                if home_disk.fault_factor != 1.0:
+                    disk_service *= home_disk.fault_factor
+                if home_id == node_id:
+                    if disk_res.acquire_fast():
+                        try:
+                            yield timeout(env, disk_service)
+                        finally:
+                            disk_res.release_fast()
+                    else:
+                        yield from disk_res.occupy(disk_service)
+                    home_disk.reads += 1
+                    home_disk.service_stats.add(disk_service)
+                    if cpu_res.acquire_fast():
+                        try:
+                            yield timeout(env, handling_ms)
+                        finally:
+                            cpu_res.release_fast()
+                    else:
+                        yield from cpu_res.occupy(handling_ms)
+                else:
+                    wire = req_wire
+                    if faults is not None and faults.extra_ms > 0.0:
+                        wire += faults.extra_ms
+                    if medium.acquire_fast():
+                        try:
+                            yield timeout(env, wire)
+                        finally:
+                            medium.release_fast()
+                    else:
+                        yield from medium.occupy(wire)
+                    record(page_request, req_bytes)
+                    home_cpu = home.cpu
+                    home_res = home_cpu.resource
+                    service = instr_message / home_cpu._mips_ms
+                    if home_res.acquire_fast():
+                        try:
+                            yield timeout(env, service)
+                        finally:
+                            home_res.release_fast()
+                    else:
+                        yield from home_res.occupy(service)
+                    if disk_res.acquire_fast():
+                        try:
+                            yield timeout(env, disk_service)
+                        finally:
+                            disk_res.release_fast()
+                    else:
+                        yield from disk_res.occupy(disk_service)
+                    home_disk.reads += 1
+                    home_disk.service_stats.add(disk_service)
+                    wire = ship_wire
+                    if faults is not None and faults.extra_ms > 0.0:
+                        wire += faults.extra_ms
+                    if medium.acquire_fast():
+                        try:
+                            yield timeout(env, wire)
+                        finally:
+                            medium.release_fast()
+                    else:
+                        yield from medium.occupy(wire)
+                    record(page_ship, ship_bytes)
+                    if cpu_res.acquire_fast():
+                        try:
+                            yield timeout(env, handling_ms)
+                        finally:
+                            cpu_res.release_fast()
+                    else:
+                        yield from cpu_res.occupy(handling_ms)
+
+            dropped = admit(page_id, class_id)
+            if dropped:
+                unregister_many(dropped, node_id)
+            if contains(page_id):
+                register(page_id, node_id)
+            elapsed = env._now - start
+            observe(level, elapsed)
+            if telemetry is not None:
+                telemetry.on_access(node_id, class_id, level, elapsed)
 
     # -- allocation plumbing --------------------------------------------
 

@@ -10,10 +10,19 @@ threshold-based protocols; the simulation models the resulting
 knowledge directly and charges :class:`~repro.cluster.messages`
 DIRECTORY_UPDATE bytes for each registration change so the overhead
 accounting stays honest.
+
+Holder state is columnar: two ``array('i')`` columns indexed by page id
+hold the copy count and the lowest holder id, so the by-far dominant
+cases — zero or one cached copy — cost two array reads and allocate
+nothing.  Only pages cached on two or more nodes keep a real ``set`` of
+holders in a side dict; with data-shipping workloads that is a small
+minority of the database, which removes the per-page set objects that
+dominated directory memory (and GC scan time) at millions of pages.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Iterable, Optional, Set
 
 from repro.cluster.messages import MessageKind
@@ -23,43 +32,96 @@ from repro.cluster.network import Network
 class PageDirectory:
     """Tracks, per page, the set of nodes caching it.
 
+    ``capacity`` pre-sizes the columns for a known database size (the
+    cluster passes ``config.num_pages``); out-of-range page ids grow
+    the columns on demand, so a bare ``PageDirectory()`` keeps working
+    for arbitrary ids.
+
     The deterministic lowest-id holder each page's remote fetches go to
     is maintained incrementally (updated on register, recomputed only
     when that exact node unregisters) so ``remote_holder`` is O(1)
     amortized instead of sorting the holder set on every remote miss.
     """
 
-    __slots__ = ("_holders", "_lowest", "_network")
+    __slots__ = ("_count", "_lowest", "_multi", "_network", "_ncached")
 
-    def __init__(self, network: Optional[Network] = None):
-        self._holders: Dict[int, Set[int]] = {}
-        self._lowest: Dict[int, int] = {}  # page id -> min holder id
+    def __init__(self, network: Optional[Network] = None,
+                 capacity: int = 0):
+        # Zero-filled columns; ``_lowest`` is only meaningful where the
+        # count is non-zero.
+        self._count = array("i", bytes(4 * capacity))
+        self._lowest = array("i", bytes(4 * capacity))
+        #: Holder sets, only for pages with >= 2 cached copies.
+        self._multi: Dict[int, Set[int]] = {}
         self._network = network
+        self._ncached = 0  # pages with at least one holder
+
+    def _grow(self, page_id: int) -> None:
+        count = self._count
+        need = max(page_id + 1, 2 * len(count))
+        pad = bytes(4 * (need - len(count)))
+        count.frombytes(pad)
+        self._lowest.frombytes(pad)
 
     def register(self, page_id: int, node_id: int) -> None:
         """Note that ``node_id`` now caches ``page_id``."""
-        holders = self._holders.get(page_id)
-        if holders is None:
-            self._holders[page_id] = {node_id}
+        count = self._count
+        if page_id >= len(count):
+            self._grow(page_id)
+        n = count[page_id]
+        if n == 0:
+            count[page_id] = 1
             self._lowest[page_id] = node_id
-            self._account()
-        elif node_id not in holders:
+            self._ncached += 1
+        elif n == 1:
+            low = self._lowest[page_id]
+            if low == node_id:
+                return
+            self._multi[page_id] = {low, node_id}
+            count[page_id] = 2
+            if node_id < low:
+                self._lowest[page_id] = node_id
+        else:
+            holders = self._multi[page_id]
+            if node_id in holders:
+                return
             holders.add(node_id)
+            count[page_id] = n + 1
             if node_id < self._lowest[page_id]:
                 self._lowest[page_id] = node_id
-            self._account()
+        self._account()
 
     def unregister(self, page_id: int, node_id: int) -> None:
         """Note that ``node_id`` dropped its copy of ``page_id``."""
-        holders = self._holders.get(page_id)
-        if holders and node_id in holders:
+        count = self._count
+        if page_id >= len(count):
+            return
+        n = count[page_id]
+        if n == 0:
+            return
+        if n == 1:
+            if self._lowest[page_id] != node_id:
+                return
+            count[page_id] = 0
+            self._ncached -= 1
+        elif n == 2:
+            holders = self._multi[page_id]
+            if node_id not in holders:
+                return
             holders.remove(node_id)
-            if not holders:
-                del self._holders[page_id]
-                del self._lowest[page_id]
-            elif self._lowest[page_id] == node_id:
+            survivor = holders.pop()
+            del self._multi[page_id]
+            count[page_id] = 1
+            self._lowest[page_id] = survivor
+        else:
+            holders = self._multi[page_id]
+            if node_id not in holders:
+                return
+            holders.remove(node_id)
+            count[page_id] = n - 1
+            if self._lowest[page_id] == node_id:
                 self._lowest[page_id] = min(holders)
-            self._account()
+        self._account()
 
     def unregister_many(self, page_ids: Iterable[int],
                         node_id: int) -> None:
@@ -69,35 +131,65 @@ class PageDirectory:
         one DIRECTORY_UPDATE accounted per actual removal) without the
         per-call overhead — eviction bursts hit this path.
         """
-        all_holders = self._holders
+        count = self._count
         lowest = self._lowest
+        multi = self._multi
+        size = len(count)
         removed = 0
         for page_id in page_ids:
-            holders = all_holders.get(page_id)
-            if holders and node_id in holders:
+            if page_id >= size:
+                continue
+            n = count[page_id]
+            if n == 0:
+                continue
+            if n == 1:
+                if lowest[page_id] != node_id:
+                    continue
+                count[page_id] = 0
+                self._ncached -= 1
+            elif n == 2:
+                holders = multi[page_id]
+                if node_id not in holders:
+                    continue
                 holders.remove(node_id)
-                if not holders:
-                    del all_holders[page_id]
-                    del lowest[page_id]
-                elif lowest[page_id] == node_id:
+                survivor = holders.pop()
+                del multi[page_id]
+                count[page_id] = 1
+                lowest[page_id] = survivor
+            else:
+                holders = multi[page_id]
+                if node_id not in holders:
+                    continue
+                holders.remove(node_id)
+                count[page_id] = n - 1
+                if lowest[page_id] == node_id:
                     lowest[page_id] = min(holders)
-                removed += 1
+            removed += 1
         if removed:
             self._account(removed)
 
     def holders(self, page_id: int) -> Set[int]:
         """Nodes currently caching ``page_id`` (possibly empty).
 
-        Returns the directory's live set — callers must not mutate it,
-        and must snapshot (``list(...)``) before unregistering while
-        iterating.
+        For pages with two or more copies this is the directory's live
+        set — callers must not mutate it, and must snapshot
+        (``list(...)``) before unregistering while iterating.  Pages
+        with fewer copies return a fresh set.
         """
-        holders = self._holders.get(page_id)
-        return holders if holders is not None else set()
+        count = self._count
+        if page_id >= len(count):
+            return set()
+        n = count[page_id]
+        if n == 0:
+            return set()
+        if n == 1:
+            return {self._lowest[page_id]}
+        return self._multi[page_id]
 
     def cached_anywhere(self, page_id: int) -> bool:
         """True if at least one node caches the page."""
-        return page_id in self._holders
+        count = self._count
+        return page_id < len(count) and count[page_id] > 0
 
     def remote_holder(self, page_id: int, requester: int) -> Optional[int]:
         """A node other than ``requester`` caching the page, if any.
@@ -105,33 +197,39 @@ class PageDirectory:
         Deterministically returns the lowest node id so simulations are
         reproducible.
         """
-        lowest = self._lowest.get(page_id)
-        if lowest is None:
+        count = self._count
+        if page_id >= len(count):
             return None
+        n = count[page_id]
+        if n == 0:
+            return None
+        lowest = self._lowest[page_id]
         if lowest != requester:
             return lowest
+        if n == 1:
+            return None
         # The requester is itself the lowest holder; fall back to the
         # next-lowest (rare: the caller usually checks its own cache
         # before asking for a remote copy).
         best = None
-        for holder in self._holders[page_id]:
+        for holder in self._multi[page_id]:
             if holder != requester and (best is None or holder < best):
                 best = holder
         return best
 
     def is_last_copy(self, page_id: int, node_id: int) -> bool:
         """True if ``node_id`` holds the only cached copy of the page."""
-        holders = self._holders.get(page_id)
+        count = self._count
         return (
-            holders is not None
-            and len(holders) == 1
-            and node_id in holders
+            page_id < len(count)
+            and count[page_id] == 1
+            and self._lowest[page_id] == node_id
         )
 
     def copy_count(self, page_id: int) -> int:
         """Number of cached copies across the cluster."""
-        holders = self._holders.get(page_id)
-        return len(holders) if holders is not None else 0
+        count = self._count
+        return count[page_id] if page_id < len(count) else 0
 
     def _account(self, count: int = 1) -> None:
         if self._network is not None:

@@ -16,6 +16,11 @@ from typing import Dict
 class MessageKind(Enum):
     """What a network transfer carries."""
 
+    # Enum equality is identity, so the identity hash is consistent —
+    # and C-level, unlike ``Enum.__hash__`` (a Python call per dict
+    # probe).  The accounting ledger hashes kinds on every transfer.
+    __hash__ = object.__hash__
+
     #: Request asking a remote node for a page (data path).
     PAGE_REQUEST = "page_request"
     #: A shipped page (data path).

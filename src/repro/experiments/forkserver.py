@@ -181,7 +181,7 @@ def warm_fingerprint(sim: Simulation) -> tuple:
     streams = sim.cluster.rng._streams
     return (
         env._now,
-        len(env._queue),
+        env.pending_events,
         env._seq,
         tuple(sorted(
             (name, stream.getstate())

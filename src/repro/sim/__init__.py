@@ -17,9 +17,13 @@ Public API
 - :class:`AnyOf`, :class:`AllOf` — event combinators.
 - :class:`Resource`, :class:`PriorityResource` — queued servers.
 - :class:`RandomStreams` — named, reproducible random streams.
+- :class:`CalendarQueue` — the high-density scheduler backend
+  (``Environment(scheduler=...)`` selects it; "auto" adopts it once
+  enough events are pending).
 - :mod:`repro.sim.stats` — online statistics and time series.
 """
 
+from repro.sim.calendar import CalendarQueue
 from repro.sim.engine import (
     AllOf,
     AnyOf,
@@ -43,6 +47,7 @@ from repro.sim.stats import (
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Environment",
     "Event",
     "Interrupt",

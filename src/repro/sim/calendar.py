@@ -1,0 +1,230 @@
+"""Calendar-queue backend for the event scheduler.
+
+A calendar queue (Brown, CACM '88) hashes events into time buckets of a
+fixed *width* and pops by draining the bucket that covers the current
+simulated "day".  For schedules where pending events are dense in time
+— large clusters keep one pending arrival timeout per (node, class)
+plus every in-flight operation — pushes are an O(1) list append and
+pops amortize the sort of one small bucket, instead of paying the
+heap's O(log n) tuple-comparison cascade per operation.
+
+Entries are exactly the kernel's heap tuples, ``(time, priority, seq,
+event)``.  Because ``seq`` is unique, that tuple order is *total*: any
+correct priority queue pops the same schedule in the same order, so
+swapping the heap for a calendar cannot change simulated behaviour.
+The pop-order property test and the golden trace pin this down.
+
+Implementation notes
+--------------------
+- The current bucket is drained through a sorted staging list
+  (``_drain``) consumed from the front via an index (no ``pop(0)``).
+  Pushes that land in the current or an earlier virtual bucket —
+  events scheduled *now* during a callback — are insorted into the
+  staging list's live region, which reproduces the heap's behaviour
+  for same-time pushes exactly.
+- Bucket membership is decided by ``int(t * inv_width)`` everywhere
+  (push and drain alike), so float rounding can never strand an entry
+  in a bucket the drain scan has passed.
+- When the queue outgrows the bucket directory, it is rebuilt with
+  twice the buckets and a width re-estimated from a sample of pending
+  inter-event gaps (the classic rule of thumb: a few events per
+  bucket).
+- A scan that finds ``nbuckets`` consecutive empty buckets jumps
+  straight to the earliest pending entry instead of walking an
+  arbitrarily sparse region bucket by bucket.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import List, Optional, Tuple
+
+#: Lower bound for the estimated bucket width (ms): degenerate samples
+#: (all-identical timestamps) must not produce a zero width.
+_MIN_WIDTH = 1e-9
+
+#: How many pending entries to sample when estimating the width.
+_WIDTH_SAMPLE = 64
+
+
+def _estimate_width(times: List[float]) -> float:
+    """Bucket width from a sample of event times: ~2x the mean gap."""
+    if len(times) < 2:
+        return 1.0
+    sample = sorted(times[:_WIDTH_SAMPLE])
+    gaps = [
+        b - a for a, b in zip(sample, sample[1:]) if b > a
+    ]
+    if not gaps:
+        return 1.0
+    width = 2.0 * (sum(gaps) / len(gaps))
+    return width if width > _MIN_WIDTH else _MIN_WIDTH
+
+
+class CalendarQueue:
+    """Priority queue over ``(time, priority, seq, event)`` tuples.
+
+    Pops in exactly the order ``heapq`` would (the tuple order is total
+    — see module docstring).  Built either empty or from an existing
+    list of heap entries (ownership is not taken; the list is copied).
+    """
+
+    __slots__ = ("_width", "_inv_width", "_buckets", "_nbuckets",
+                 "_mask", "_size", "_cur_vb", "_drain", "_pos",
+                 "_resize_at")
+
+    def __init__(self, entries: Optional[List[tuple]] = None,
+                 min_buckets: int = 256):
+        # Power-of-two bucket count for mask indexing.
+        nbuckets = 1
+        while nbuckets < min_buckets:
+            nbuckets <<= 1
+        self._size = 0
+        self._drain: List[tuple] = []
+        self._pos = 0
+        self._setup(nbuckets, 1.0, -1)
+        if entries:
+            self._rebuild(list(entries))
+
+    def _setup(self, nbuckets: int, width: float, cur_vb: int) -> None:
+        self._nbuckets = nbuckets
+        self._mask = nbuckets - 1
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._buckets: List[List[tuple]] = [[] for _ in range(nbuckets)]
+        self._cur_vb = cur_vb
+        self._resize_at = 2 * nbuckets
+
+    def _rebuild(self, entries: List[tuple]) -> None:
+        """Re-seed buckets and width from a flat entry list."""
+        nbuckets = self._nbuckets
+        while len(entries) > 2 * nbuckets:
+            nbuckets <<= 1
+        width = _estimate_width([e[0] for e in entries])
+        tmin = min(e[0] for e in entries) if entries else 0.0
+        # Start one virtual bucket before the earliest entry so the
+        # first advance lands on it.
+        self._setup(nbuckets, width, int(tmin / width) - 1)
+        del self._drain[:]
+        self._pos = 0
+        self._size = len(entries)
+        buckets = self._buckets
+        mask = self._mask
+        inv = self._inv_width
+        for entry in entries:
+            buckets[int(entry[0] * inv) & mask].append(entry)
+
+    def _pending_entries(self) -> List[tuple]:
+        entries = self._drain[self._pos:]
+        for bucket in self._buckets:
+            entries.extend(bucket)
+        return entries
+
+    def push(self, entry: tuple) -> None:
+        """Insert one ``(time, priority, seq, event)`` entry."""
+        vb = int(entry[0] * self._inv_width)
+        if vb <= self._cur_vb:
+            # Lands in the bucket being drained (or an already-passed
+            # one — possible right after a sparse-region jump): insort
+            # into the live region of the staging list.  Everything
+            # before ``_pos`` was already popped, and like the heap we
+            # only promise order among *pending* entries.
+            insort(self._drain, entry, self._pos)
+        else:
+            self._buckets[vb & self._mask].append(entry)
+        self._size += 1
+        if self._size > self._resize_at:
+            self._rebuild(self._pending_entries())
+
+    def _advance(self) -> None:
+        """Refill ``_drain`` from the next non-empty virtual bucket.
+
+        Caller guarantees the queue is non-empty and the staging list
+        is exhausted.
+        """
+        del self._drain[:]
+        self._pos = 0
+        buckets = self._buckets
+        mask = self._mask
+        inv = self._inv_width
+        nbuckets = self._nbuckets
+        vb = self._cur_vb + 1
+        scanned = 0
+        while True:
+            bucket = buckets[vb & mask]
+            if bucket:
+                take = [e for e in bucket if int(e[0] * inv) <= vb]
+                if take:
+                    if len(take) == len(bucket):
+                        del bucket[:]
+                    else:
+                        buckets[vb & mask] = [
+                            e for e in bucket if int(e[0] * inv) > vb
+                        ]
+                    take.sort()
+                    self._drain = take
+                    self._cur_vb = vb
+                    return
+            vb += 1
+            scanned += 1
+            if scanned >= nbuckets:
+                # Sparse region: jump to the earliest pending entry.
+                tmin = min(
+                    e[0] for b in buckets for e in b
+                )
+                vb = int(tmin * inv)
+                scanned = 0
+
+    def pop(self) -> tuple:
+        """Remove and return the smallest pending entry."""
+        pos = self._pos
+        drain = self._drain
+        if pos >= len(drain):
+            self._advance()
+            pos = self._pos
+            drain = self._drain
+        entry = drain[pos]
+        pos += 1
+        self._size -= 1
+        # Trim the consumed prefix once it dominates the staging list,
+        # keeping pops amortized O(1) without per-pop slicing.
+        if pos > 512 and 2 * pos > len(drain):
+            del drain[:pos]
+            pos = 0
+        self._pos = pos
+        return entry
+
+    def pop_before(self, stop_at: float) -> Optional[tuple]:
+        """Pop the smallest entry if its time is ``< stop_at``, else None."""
+        if not self._size:
+            return None
+        pos = self._pos
+        drain = self._drain
+        if pos >= len(drain):
+            self._advance()
+            pos = self._pos
+            drain = self._drain
+        entry = drain[pos]
+        if entry[0] >= stop_at:
+            return None
+        pos += 1
+        self._size -= 1
+        if pos > 512 and 2 * pos > len(drain):
+            del drain[:pos]
+            pos = 0
+        self._pos = pos
+        return entry
+
+    def peek(self) -> float:
+        """Time of the earliest pending entry, or ``inf`` if none."""
+        if not self._size:
+            return float("inf")
+        if self._pos >= len(self._drain):
+            self._advance()
+        return self._drain[self._pos][0]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0

@@ -30,6 +30,22 @@ this down):
 - :meth:`Environment.run` hoists the ``stop_at`` / ``stop_event``
   branches out of the per-event loop into three specialized loops with
   locally bound queue/heappop references.
+
+Scheduler backends
+------------------
+The pending-event set lives either in a binary heap (the default) or a
+:class:`~repro.sim.calendar.CalendarQueue`.  Both order the same
+``(time, priority, seq, event)`` tuples, and since ``seq`` is unique
+that order is total — the backends pop bit-identically, which the
+pop-order property test and the golden trace pin down.  The
+``scheduler`` knob selects the backend:
+
+- ``"auto"`` (default): start on the heap and migrate to a calendar
+  queue the first time the pending count reaches
+  :data:`CALENDAR_AUTO_THRESHOLD` — small simulations never leave the
+  heap's fast constant factors, big ones (hundreds of nodes keep one
+  pending arrival per node and class) escape its O(log n) pushes;
+- ``"heap"`` / ``"calendar"``: force one backend.
 """
 
 from __future__ import annotations
@@ -37,10 +53,20 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from repro.sim.calendar import CalendarQueue
+
 #: Scheduling priorities.  URGENT callbacks (event chain plumbing) run
 #: before NORMAL callbacks scheduled for the same simulation time.
 URGENT = 0
 NORMAL = 1
+
+#: Pending-event count at which an ``"auto"`` environment swaps its
+#: heap for a calendar queue.  Sits just past the measured crossover
+#: where the calendar's O(1) pushes overtake the C heap's constant
+#: factors (~0.95x at 4k pending, ~1.4x at 32k).  Read once per
+#: Environment construction, so tests can monkeypatch it to force
+#: early migration.
+CALENDAR_AUTO_THRESHOLD = 8192
 
 
 class SimulationError(Exception):
@@ -153,7 +179,14 @@ class Timeout(Event):
         self.delay = delay
         seq = env._seq
         env._seq = seq + 1
-        heapq.heappush(env._queue, (env._now + delay, NORMAL, seq, self))
+        calendar = env._calendar
+        if calendar is None:
+            queue = env._queue
+            heapq.heappush(queue, (env._now + delay, NORMAL, seq, self))
+            if env._auto_at and len(queue) >= env._auto_at:
+                env._activate_calendar()
+        else:
+            calendar.push((env._now + delay, NORMAL, seq, self))
 
 
 class Initialize(Event):
@@ -349,15 +382,37 @@ class AllOf(_MultiEvent):
 
 
 class Environment:
-    """Event loop, simulation clock, and process factory."""
+    """Event loop, simulation clock, and process factory.
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_process")
+    ``scheduler`` picks the pending-event backend: ``"auto"`` (heap
+    now, calendar queue once :data:`CALENDAR_AUTO_THRESHOLD` events are
+    pending), ``"heap"``, or ``"calendar"`` — see the module docstring;
+    the backends are pop-order identical.
+    """
 
-    def __init__(self, initial_time: float = 0.0):
+    __slots__ = ("_now", "_queue", "_seq", "_active_process",
+                 "_calendar", "_auto_at")
+
+    def __init__(self, initial_time: float = 0.0,
+                 scheduler: str = "auto"):
         self._now = float(initial_time)
         self._queue: List = []  # (time, priority, seq, event)
         self._seq = 0
         self._active_process: Optional[Process] = None
+        if scheduler == "auto":
+            self._calendar: Optional[CalendarQueue] = None
+            self._auto_at = CALENDAR_AUTO_THRESHOLD
+        elif scheduler == "heap":
+            self._calendar = None
+            self._auto_at = 0
+        elif scheduler == "calendar":
+            self._calendar = CalendarQueue()
+            self._auto_at = 0
+        else:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r} "
+                "(expected 'auto', 'heap', or 'calendar')"
+            )
 
     @property
     def now(self) -> float:
@@ -405,19 +460,56 @@ class Environment:
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, seq, event)
-        )
+        calendar = self._calendar
+        if calendar is None:
+            queue = self._queue
+            heapq.heappush(
+                queue, (self._now + delay, priority, seq, event)
+            )
+            if self._auto_at and len(queue) >= self._auto_at:
+                self._activate_calendar()
+        else:
+            calendar.push((self._now + delay, priority, seq, event))
+
+    def _activate_calendar(self) -> None:
+        """Migrate the pending heap into a calendar queue (auto mode).
+
+        Emptying ``_queue`` in place matters: the dispatch loops bind
+        the heap list locally, see it drain to zero, and fall through
+        to their calendar variant on the next outer iteration.
+        """
+        self._calendar = CalendarQueue(self._queue)
+        del self._queue[:]
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled-but-undispatched events (any backend)."""
+        calendar = self._calendar
+        return len(self._queue) if calendar is None else len(calendar)
+
+    @property
+    def scheduler_backend(self) -> str:
+        """The active backend: ``"heap"`` or ``"calendar"``."""
+        return "heap" if self._calendar is None else "calendar"
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        calendar = self._calendar
+        if calendar is not None:
+            return calendar.peek()
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        if not self._queue:
-            raise SimulationError("no more events")
-        when, _, _, event = heapq.heappop(self._queue)
+        calendar = self._calendar
+        if calendar is None:
+            if not self._queue:
+                raise SimulationError("no more events")
+            when, _, _, event = heapq.heappop(self._queue)
+        else:
+            if not calendar:
+                raise SimulationError("no more events")
+            when, _, _, event = calendar.pop()
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None
@@ -451,50 +543,103 @@ class Environment:
         self._run_until_time(stop_at)
         return None
 
-    # The three loops below are step() inlined with the stop condition
+    # The loops below are step() inlined with the stop condition
     # hoisted out of the per-event dispatch (one branch per event
     # instead of three), with the queue and heappop locally bound.
+    # Each has a heap and a calendar variant; the outer ``while True``
+    # re-checks the backend because an auto migration can happen inside
+    # any dispatched callback (the heap variant then sees its locally
+    # bound list drain to zero and falls through).
 
     def _run_exhaust(self) -> None:
-        queue = self._queue
-        pop = heapq.heappop
-        while queue:
-            when, _, _, event = pop(queue)
-            self._now = when
-            callbacks = event.callbacks
-            event.callbacks = None
-            proc = event._fast_proc
-            if proc is not None:
-                event._fast_proc = None
-                proc._resume(event)
-            if callbacks:
-                for callback in callbacks:
-                    callback(event)
-            if not event._ok and not event._defused:
-                raise event._value
+        while True:
+            calendar = self._calendar
+            if calendar is not None:
+                pop = calendar.pop
+                while calendar._size:
+                    when, _, _, event = pop()
+                    self._now = when
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    proc = event._fast_proc
+                    if proc is not None:
+                        event._fast_proc = None
+                        proc._resume(event)
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                return
+            queue = self._queue
+            pop = heapq.heappop
+            while queue:
+                when, _, _, event = pop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                proc = event._fast_proc
+                if proc is not None:
+                    event._fast_proc = None
+                    proc._resume(event)
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            if self._calendar is None:
+                return
 
     def _run_until_time(self, stop_at: float) -> None:
-        queue = self._queue
-        pop = heapq.heappop
-        while queue and queue[0][0] < stop_at:
-            when, _, _, event = pop(queue)
-            self._now = when
-            callbacks = event.callbacks
-            event.callbacks = None
-            proc = event._fast_proc
-            if proc is not None:
-                event._fast_proc = None
-                proc._resume(event)
-            if callbacks:
-                for callback in callbacks:
-                    callback(event)
-            if not event._ok and not event._defused:
-                raise event._value
+        while True:
+            calendar = self._calendar
+            if calendar is not None:
+                pop_before = calendar.pop_before
+                while True:
+                    entry = pop_before(stop_at)
+                    if entry is None:
+                        break
+                    event = entry[3]
+                    self._now = entry[0]
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    proc = event._fast_proc
+                    if proc is not None:
+                        event._fast_proc = None
+                        proc._resume(event)
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                break
+            queue = self._queue
+            pop = heapq.heappop
+            while queue and queue[0][0] < stop_at:
+                when, _, _, event = pop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                proc = event._fast_proc
+                if proc is not None:
+                    event._fast_proc = None
+                    proc._resume(event)
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            if self._calendar is None:
+                break
         self._now = stop_at
 
     def _run_until_event(self, stop_event: Event) -> Any:
-        while self._queue:
-            if stop_event.callbacks is None:  # processed
+        while stop_event.callbacks is not None:  # not yet processed
+            calendar = self._calendar
+            if calendar is None:
+                if not self._queue:
+                    break
+            elif not calendar:
                 break
             self.step()
         if stop_event.callbacks is not None:

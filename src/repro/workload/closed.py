@@ -69,11 +69,16 @@ class ClosedLoopDriver:
             started = env.now
             self.sink.on_arrival(node_id, spec.class_id, started)
             self.in_flight += 1
-            for _ in range(spec.pages_per_op):
-                page_id = self._picker.pick(rng.stream(page_stream))
-                yield from self.cluster.access_page(
-                    node_id, page_id, spec.class_id
-                )
+            # Draw the operation's pages up front (same stream, same
+            # order, so the values are unchanged) and run them through
+            # the batched access path.
+            pages = [
+                self._picker.pick(rng.stream(page_stream))
+                for _ in range(spec.pages_per_op)
+            ]
+            yield from self.cluster.access_run(
+                node_id, pages, spec.class_id
+            )
             self.in_flight -= 1
             self.operations_completed += 1
             self.sink.on_complete(

@@ -127,10 +127,11 @@ class WorkloadGenerator:
                 node_id, class_spec, pages
             )
         else:
-            for page_id in pages:
-                yield from self.cluster.access_page(
-                    node_id, page_id, class_spec.class_id
-                )
+            # Batched entry point: same events as per-page access_page
+            # calls, one generator frame for the whole operation.
+            yield from self.cluster.access_run(
+                node_id, pages, class_spec.class_id
+            )
         response = env.now - started
         self.operations_completed += 1
         self.sink.on_complete(

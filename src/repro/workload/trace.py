@@ -97,10 +97,9 @@ class TraceReplayer:
         started = env.now
         if self.sink is not None:
             self.sink.on_arrival(rec.node_id, rec.class_id, started)
-        for page_id in rec.pages:
-            yield from self.cluster.access_page(
-                rec.node_id, page_id, rec.class_id
-            )
+        yield from self.cluster.access_run(
+            rec.node_id, rec.pages, rec.class_id
+        )
         self.operations_completed += 1
         if self.sink is not None:
             self.sink.on_complete(

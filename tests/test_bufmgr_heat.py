@@ -181,3 +181,123 @@ def test_global_registry_threshold_restarts_after_forget():
     registry.record(1, now=4.0)
     assert len(updates) == 1
     assert registry.pending_count == 0
+
+
+# -- columnar vs. deque parity and churn boundedness --------------------
+
+
+def _deque_tracker_k2():
+    """A deque-backed tracker at k=2, bypassing ``__new__`` routing."""
+    from repro.bufmgr.heat import _DequeHeatTracker
+
+    tracker = object.__new__(_DequeHeatTracker)
+    tracker.__init__(k=2)
+    return tracker
+
+
+def test_columnar_matches_deque_tracker_on_random_history():
+    import random
+
+    from repro.bufmgr.heat import _DequeHeatTracker
+
+    rng = random.Random(7)
+    columnar = HeatTracker(k=2)
+    boxed = _deque_tracker_k2()
+    assert type(columnar) is HeatTracker
+    assert isinstance(boxed, _DequeHeatTracker)
+    keys = [f"p{i}" for i in range(40)] + [(1, i) for i in range(10)]
+    now = 0.0
+    for _ in range(3_000):
+        now += rng.expovariate(1.0)
+        key = rng.choice(keys)
+        op = rng.random()
+        if op < 0.70:
+            columnar.record(key, now)
+            boxed.record(key, now)
+        elif op < 0.85:
+            columnar.forget(key)
+            boxed.forget(key)
+        else:
+            probe = rng.choice(keys)
+            # Bit-identical, not approximately equal: the columnar
+            # arithmetic (1/span, 2/span) must reproduce the boxed
+            # len/span floats exactly.
+            assert columnar.heat(probe, now) == boxed.heat(probe, now)
+            assert columnar.tracked(probe) == boxed.tracked(probe)
+    for key in keys:
+        assert columnar.heat(key, now) == boxed.heat(key, now)
+    assert len(columnar) == len(boxed)
+
+
+def test_columnar_single_access_parity_at_same_instant():
+    columnar = HeatTracker(k=2)
+    boxed = _deque_tracker_k2()
+    for tracker in (columnar, boxed):
+        tracker.record("p", now=5.0)
+    # span == 0 on both layouts -> len(history) exactly.
+    assert columnar.heat("p", 5.0) == boxed.heat("p", 5.0) == 1.0
+    for tracker in (columnar, boxed):
+        tracker.record("p", now=5.0)
+    assert columnar.heat("p", 5.0) == boxed.heat("p", 5.0) == 2.0
+
+
+def test_tracker_churn_keeps_columns_bounded():
+    tracker = HeatTracker(k=2)
+    # 50 concurrently live keys, churned through 20k generations.
+    for generation in range(20_000):
+        key = ("page", generation)
+        tracker.record(key, float(generation))
+        tracker.record(key, generation + 0.5)
+        if generation >= 50:
+            tracker.forget(("page", generation - 50))
+    assert len(tracker) == 50
+    # Columns are bounded by the *peak* live count, not total churn.
+    assert tracker.column_slots <= 51
+
+
+def test_registry_churn_keeps_columns_and_pending_bounded():
+    updates = []
+    registry = GlobalHeatRegistry(
+        on_update=lambda: updates.append(1), update_threshold=8
+    )
+    for generation in range(10_000):
+        registry.record(generation, float(generation))
+        registry.record(generation, generation + 0.25)
+        if generation >= 64:
+            registry.forget(generation - 64)
+    assert len(registry) == 64
+    assert registry.column_slots <= 65
+    # Two accesses per page, threshold 8: every page stays pending and
+    # forget reclaims its counter, so pending tracks the live window.
+    assert registry.pending_count == 64
+    assert not updates
+
+
+def test_registry_forget_resets_pending_counter():
+    registry = GlobalHeatRegistry(update_threshold=4)
+    for _ in range(3):
+        registry.record(7, 1.0)
+    assert registry.pending_count == 1
+    registry.forget(7)
+    assert registry.pending_count == 0
+    assert not registry.tracked(7)
+    # Re-tracking the page starts the dissemination count from zero:
+    # three more accesses stay below the threshold.
+    updates = []
+    registry._on_update = lambda: updates.append(1)
+    for _ in range(3):
+        registry.record(7, 2.0)
+    assert not updates
+    assert registry.pending_count == 1
+
+
+def test_tracker_clear_releases_columns():
+    tracker = HeatTracker(k=2)
+    for i in range(1_000):
+        tracker.record(i, float(i))
+    assert tracker.column_slots == 1_000
+    tracker.clear()
+    assert tracker.column_slots == 0
+    assert len(tracker) == 0
+    tracker.record("fresh", 1.0)
+    assert tracker.heat("fresh", 2.0) == 1.0

@@ -1,0 +1,208 @@
+"""Batched access path equivalence: ``access_run`` vs. ``access_page``.
+
+The batched entry point executes a run of same-node/same-class accesses
+in one generator frame.  It must be *event-identical* to the reference
+loop of per-page ``access_page`` calls: same simulated clock at every
+completion, same kernel sequence numbers, same directory/accounting/
+cost-observer state.  These tests drive both implementations over the
+same schedules — including concurrent operations contending for CPUs,
+disks, and the network — and require bit-equal end states.
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import NodeParameters, SystemConfig
+
+
+def _config(num_nodes=4, num_pages=200):
+    return SystemConfig(
+        num_nodes=num_nodes,
+        num_pages=num_pages,
+        node=NodeParameters(buffer_bytes=128 * 1024),
+    )
+
+
+def _schedule(num_nodes, num_pages, ops=120):
+    """Deterministic operation list: (node, class, [pages])."""
+    schedule = []
+    for i in range(ops):
+        node = (i * 5) % num_nodes
+        pages = [
+            (i * 7 + j * 31) % num_pages for j in range(1 + i % 4)
+        ]
+        schedule.append((node, i % 3, pages))
+    return schedule
+
+
+def _fingerprint(cluster):
+    acct = cluster.network.accounting
+    return {
+        "now": cluster.env.now,
+        "seq": cluster.env._seq,
+        "bytes": {
+            kind.value: n for kind, n in sorted(
+                acct.bytes_by_kind.items(), key=lambda kv: kv[0].value
+            )
+        },
+        "messages": {
+            kind.value: n for kind, n in sorted(
+                acct.messages_by_kind.items(), key=lambda kv: kv[0].value
+            )
+        },
+        "costs": (
+            cluster.costs.cost_local,
+            cluster.costs.cost_remote,
+            cluster.costs.cost_disk,
+            cluster.costs.version,
+        ),
+        "cached": sorted(
+            (node.node_id, page)
+            for node in cluster.nodes
+            for page in node.buffers.cached_pages()
+        ),
+        "hits": [
+            dict(node.buffers.hits_by_class) for node in cluster.nodes
+        ],
+        "misses": [
+            dict(node.buffers.misses_by_class) for node in cluster.nodes
+        ],
+        "global_heat": (
+            len(cluster.global_heat),
+            cluster.global_heat.pending_count,
+        ),
+    }
+
+
+def _run_reference(schedule, **kwargs):
+    cluster = Cluster(_config(**kwargs), seed=3)
+    completions = []
+
+    def op(node_id, class_id, pages):
+        for page_id in pages:
+            yield from cluster.access_page(node_id, page_id, class_id)
+        completions.append(cluster.env.now)
+
+    def driver():
+        for node_id, class_id, pages in schedule:
+            cluster.env.process(op(node_id, class_id, pages))
+            yield cluster.env.timeout(0.11)
+
+    cluster.env.process(driver())
+    cluster.env.run()
+    return _fingerprint(cluster), completions
+
+
+def _run_batched(schedule, **kwargs):
+    cluster = Cluster(_config(**kwargs), seed=3)
+    completions = []
+
+    def op(node_id, class_id, pages):
+        yield from cluster.access_run(node_id, pages, class_id)
+        completions.append(cluster.env.now)
+
+    def driver():
+        for node_id, class_id, pages in schedule:
+            cluster.env.process(op(node_id, class_id, pages))
+            yield cluster.env.timeout(0.11)
+
+    cluster.env.process(driver())
+    cluster.env.run()
+    return _fingerprint(cluster), completions
+
+
+def test_batched_run_is_event_identical_to_page_loop():
+    schedule = _schedule(4, 200)
+    ref_state, ref_completions = _run_reference(schedule)
+    batch_state, batch_completions = _run_batched(schedule)
+    assert batch_completions == ref_completions
+    assert batch_state == ref_state
+
+
+def test_batched_run_parity_under_contention():
+    # Two nodes over few pages: heavy CPU/disk/network contention, so
+    # the fast acquire path and the queued occupy fallback both run.
+    schedule = _schedule(2, 40, ops=200)
+    ref_state, ref_completions = _run_reference(
+        schedule, num_nodes=2, num_pages=40
+    )
+    batch_state, batch_completions = _run_batched(
+        schedule, num_nodes=2, num_pages=40
+    )
+    assert batch_completions == ref_completions
+    assert batch_state == ref_state
+
+
+def test_batched_run_parity_with_dedicated_pools():
+    schedule = _schedule(3, 120, ops=150)
+
+    def with_pools(runner):
+        cluster = Cluster(_config(num_nodes=3, num_pages=120), seed=9)
+        # Dedicated buffers for classes 1 and 2 exercise the §6
+        # promotion branches inside probe/admit.
+        cluster.apply_allocation(1, [32 * 1024] * 3)
+        cluster.apply_allocation(2, [16 * 1024] * 3)
+        completions = []
+
+        def op(node_id, class_id, pages):
+            yield from runner(cluster, node_id, class_id, pages)
+            completions.append(cluster.env.now)
+
+        def driver():
+            for node_id, class_id, pages in schedule:
+                cluster.env.process(op(node_id, class_id, pages))
+                yield cluster.env.timeout(0.17)
+
+        cluster.env.process(driver())
+        cluster.env.run()
+        return _fingerprint(cluster), completions
+
+    def page_loop(cluster, node_id, class_id, pages):
+        for page_id in pages:
+            yield from cluster.access_page(node_id, page_id, class_id)
+
+    def batched(cluster, node_id, class_id, pages):
+        yield from cluster.access_run(node_id, pages, class_id)
+
+    assert with_pools(batched) == with_pools(page_loop)
+
+
+def test_empty_run_is_a_no_op():
+    cluster = Cluster(_config(), seed=0)
+
+    def driver():
+        yield from cluster.access_run(0, [], 0)
+
+    cluster.env.process(driver())
+    cluster.env.run()
+    assert cluster.env.now == 0.0
+    assert all(
+        not node.buffers.cached_pages() for node in cluster.nodes
+    )
+
+
+def test_workload_generator_routes_through_batched_path(monkeypatch):
+    """The open-system generator feeds operations through access_run."""
+    from repro.workload.generator import WorkloadGenerator
+    from repro.workload.spec import ClassSpec, WorkloadSpec
+
+    cluster = Cluster(_config(), seed=1)
+    calls = []
+    original = cluster.access_run
+
+    def spy(node_id, pages, class_id):
+        calls.append((node_id, tuple(pages), class_id))
+        return original(node_id, pages, class_id)
+
+    monkeypatch.setattr(cluster, "access_run", spy)
+    spec = WorkloadSpec(classes=[
+        ClassSpec(
+            class_id=1, goal_ms=10.0, pages=tuple(range(100)),
+            arrival_rate_per_node=0.4, pages_per_op=3,
+        ),
+    ])
+    generator = WorkloadGenerator(cluster, spec)
+    generator.start()
+    cluster.env.run(until=50.0)
+    assert calls, "no operations ran through the batched path"
+    assert all(len(pages) == 3 for _, pages, _ in calls)

@@ -1,0 +1,228 @@
+"""Calendar-queue scheduler equivalence tests.
+
+The calendar queue must pop entries in exactly the order the heapq
+kernel would: entry tuples ``(time, priority, seq, payload)`` carry a
+unique ``seq``, so the heap order is total and any correct priority
+queue is *bit-identical* to it.  These tests pin that equivalence at
+the queue level (randomized push/pop interleavings, simultaneous
+timestamps, pushes landing in the bucket currently being drained) and
+at the engine level (whole simulations run under ``scheduler="heap"``
+vs. ``"calendar"`` vs. auto-migration mid-run, including the fused
+timeout→resume fast path and resource grant events).
+"""
+
+import heapq
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim.engine as engine
+from repro.sim.calendar import CalendarQueue
+from repro.sim.engine import NORMAL, URGENT, Environment
+from repro.sim.resources import Resource
+
+
+def _drain(queue):
+    out = []
+    while queue:
+        out.append(queue.pop())
+    return out
+
+
+# -- queue-level equivalence --------------------------------------------
+
+
+def test_presorted_and_reversed_entries():
+    entries = [(float(i), NORMAL, i, None) for i in range(100)]
+    assert _drain(CalendarQueue(entries)) == sorted(entries)
+    assert _drain(CalendarQueue(list(reversed(entries)))) == sorted(entries)
+
+
+def test_simultaneous_timestamps_order_by_priority_then_seq():
+    entries = []
+    seq = 0
+    for _ in range(50):
+        for priority in (NORMAL, URGENT):
+            entries.append((7.5, priority, seq, None))
+            seq += 1
+    random.Random(1).shuffle(entries)
+    assert _drain(CalendarQueue(entries)) == sorted(entries)
+
+
+@pytest.mark.parametrize("scale", [1e-6, 1.0, 1e6])
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_random_interleaved_push_pop_matches_heapq(seed, scale):
+    """Pops interleaved with pushes (including past-time pushes)."""
+    rng = random.Random(seed)
+    cal = CalendarQueue()
+    heap = []
+    seq = 0
+    now = 0.0
+    popped = []
+    expected = []
+    for _ in range(2_000):
+        if heap and rng.random() < 0.45:
+            expected.append(heapq.heappop(heap))
+            popped.append(cal.pop())
+            now = popped[-1][0]
+        else:
+            # Mostly future times; sometimes exactly "now" (the URGENT
+            # wake-up pattern), sometimes clustered duplicates.
+            r = rng.random()
+            if r < 0.15:
+                t, priority = now, URGENT
+            elif r < 0.25:
+                t = now + rng.choice([0.0, 1.0, 1.0]) * scale
+                priority = NORMAL
+            else:
+                t = now + rng.expovariate(1.0) * scale
+                priority = NORMAL
+            entry = (t, priority, seq, None)
+            seq += 1
+            heapq.heappush(heap, entry)
+            cal.push(entry)
+    while heap:
+        expected.append(heapq.heappop(heap))
+        popped.append(cal.pop())
+    assert popped == expected
+
+
+@given(
+    times=st.lists(
+        st.floats(
+            min_value=0.0, max_value=1e9,
+            allow_nan=False, allow_infinity=False,
+        ),
+        min_size=1, max_size=300,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_property_pop_order_is_total_sort(times):
+    entries = [
+        (t, NORMAL if i % 3 else URGENT, i, None)
+        for i, t in enumerate(times)
+    ]
+    cal = CalendarQueue()
+    for entry in entries:
+        cal.push(entry)
+    assert _drain(cal) == sorted(entries)
+
+
+def test_pop_before_stops_at_threshold():
+    """``pop_before`` is exclusive, matching the kernel's ``< until``."""
+    entries = [(float(i), NORMAL, i, None) for i in range(20)]
+    cal = CalendarQueue(entries)
+    taken = []
+    while True:
+        entry = cal.pop_before(10.0)
+        if entry is None:
+            break
+        taken.append(entry)
+    assert [e[0] for e in taken] == [float(i) for i in range(10)]
+    assert len(cal) == 10
+    assert cal.peek() == 10.0
+
+
+def test_resize_preserves_order_under_growth():
+    rng = random.Random(42)
+    entries = [
+        (rng.uniform(0, 1e4), NORMAL, i, None) for i in range(5_000)
+    ]
+    cal = CalendarQueue(min_buckets=4)  # force many resizes
+    for entry in entries:
+        cal.push(entry)
+    assert _drain(cal) == sorted(entries)
+
+
+# -- engine-level equivalence -------------------------------------------
+
+
+def _workload_log(scheduler, auto_threshold=None, monkeypatch=None):
+    """Run a mixed workload and return its (time, actor, note) log."""
+    if auto_threshold is not None:
+        monkeypatch.setattr(
+            engine, "CALENDAR_AUTO_THRESHOLD", auto_threshold
+        )
+    env = Environment(scheduler=scheduler)
+    resource = Resource(env, capacity=2)
+    log = []
+
+    def worker(pid, seed):
+        rng = random.Random(seed)
+        for step in range(40):
+            # Fused timeout→resume path.
+            yield env.timeout(rng.expovariate(1.0))
+            log.append((env.now, pid, step, "tick"))
+            if step % 5 == 0:
+                # Resource grants exercise the URGENT same-time path.
+                with resource.request() as req:
+                    yield req
+                    yield env.timeout(rng.random())
+                log.append((env.now, pid, step, "held"))
+            if step % 11 == 0:
+                # Simultaneous events: zero-delay timeout.
+                yield env.timeout(0.0)
+                log.append((env.now, pid, step, "zero"))
+
+    for pid in range(25):
+        env.process(worker(pid, seed=pid * 13 + 1))
+    env.run()
+    return log
+
+
+def test_heap_and_calendar_backends_produce_identical_runs(monkeypatch):
+    heap_log = _workload_log("heap")
+    calendar_log = _workload_log("calendar")
+    assert calendar_log == heap_log
+
+
+def test_auto_migration_mid_run_is_bit_identical(monkeypatch):
+    heap_log = _workload_log("heap")
+    auto_log = _workload_log(
+        "auto", auto_threshold=16, monkeypatch=monkeypatch
+    )
+    assert auto_log == heap_log
+
+
+def test_auto_migration_switches_backend(monkeypatch):
+    monkeypatch.setattr(engine, "CALENDAR_AUTO_THRESHOLD", 8)
+    env = Environment(scheduler="auto")
+
+    def sleeper():
+        yield env.timeout(1.0)
+
+    for _ in range(4):
+        env.process(sleeper())
+    # Below threshold: still on the heap.
+    assert env.scheduler_backend == "heap"
+    for _ in range(32):
+        env.process(sleeper())
+    # The pending-event count crossed the threshold, so the backlog
+    # migrated to the calendar queue mid-stream.
+    assert env.scheduler_backend == "calendar"
+    env.run()
+    assert env.now == 1.0
+
+
+def test_run_until_time_across_backends():
+    def make(scheduler):
+        env = Environment(scheduler=scheduler)
+        hits = []
+
+        def proc():
+            for i in range(100):
+                yield env.timeout(0.5)
+                hits.append((env.now, i))
+
+        env.process(proc())
+        env.run(until=20.25)
+        return env.now, hits
+
+    assert make("calendar") == make("heap")
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(ValueError):
+        Environment(scheduler="fifo")

@@ -8,8 +8,12 @@ and break consumers that parse the CLI output.  The check walks the
 AST — not the raw text — so ``print`` mentioned in docstrings or
 comments does not trip it.
 
-Allowed files: ``cli.py`` (the CLI *is* the stdout boundary) and
-``experiments/reporting.py`` (home of ``emit``).
+Covers ``src/repro``, ``benchmarks``, and ``tools``.  Allowed files:
+``cli.py`` (the CLI *is* the stdout boundary) and
+``experiments/reporting.py`` (home of ``emit``); the lint itself
+writes through ``sys.stdout`` directly, which the AST check does not
+flag — ``print`` is the lint target because it is the idiom stray
+debug output arrives in.
 
 Usage::
 
@@ -48,19 +52,24 @@ def main(argv) -> int:
     root = argv[1] if len(argv) > 1 else os.path.dirname(
         os.path.dirname(os.path.abspath(__file__))
     )
-    src = os.path.join(root, "src", "repro")
+    roots = [
+        os.path.join(root, "src", "repro"),
+        os.path.join(root, "benchmarks"),
+        os.path.join(root, "tools"),
+    ]
     failures = []
-    for dirpath, dirnames, filenames in os.walk(src):
-        dirnames.sort()
-        for name in sorted(filenames):
-            if not name.endswith(".py"):
-                continue
-            path = os.path.join(dirpath, name)
-            rel = os.path.relpath(path, root)
-            if rel in ALLOWED:
-                continue
-            for lineno in find_prints(path):
-                failures.append(f"{rel}:{lineno}")
+    for tree in roots:
+        for dirpath, dirnames, filenames in os.walk(tree):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root)
+                if rel in ALLOWED:
+                    continue
+                for lineno in find_prints(path):
+                    failures.append(f"{rel}:{lineno}")
     if failures:
         sys.stderr.write(
             "bare print() calls found (use repro.telemetry or "
@@ -69,7 +78,9 @@ def main(argv) -> int:
         for failure in failures:
             sys.stderr.write(f"  {failure}\n")
         return 1
-    sys.stdout.write("no stray print() calls in src/repro\n")
+    sys.stdout.write(
+        "no stray print() calls in src/repro, benchmarks, tools\n"
+    )
     return 0
 
 
