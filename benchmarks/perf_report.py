@@ -52,6 +52,12 @@ SWEEP_REPORT_PATH = (
 TELEMETRY_REPORT_PATH = (
     Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
 )
+FAULTS_REPORT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+)
+#: The acceptance bar for an attached-but-idle fault layer: at most
+#: this fraction of extra wall clock on either measured level.
+FAULTS_IDLE_TARGET = 0.02
 
 #: Pre-change reference times (seconds, best of 5) for this machine.
 BASELINE_SECONDS = {
@@ -643,6 +649,82 @@ def build_telemetry_report(repeats: int) -> dict:
     }
 
 
+def bench_control_loop(idle_faults: bool, intervals: int = 12) -> float:
+    """Best-of-3 wall clock of a short feedback-loop run.
+
+    With ``idle_faults`` an injector with an *empty* schedule is
+    attached, so the controller polls the control-plane fault state
+    every interval (always-zero fields, no RNG) and every hot path
+    pays its fault-layer attribute check — the full idle cost of the
+    control-plane fault domain, end to end.
+    """
+    from repro.experiments.resilience import quick_config
+    from repro.experiments.runner import Simulation, default_workload
+    from repro.faults import FaultSchedule
+
+    best = float("inf")
+    for _ in range(3):
+        config = quick_config()
+        sim = Simulation(
+            config=config,
+            workload=default_workload(config, goal_ms=6.0),
+            seed=0,
+            warmup_ms=4000.0,
+            faults=FaultSchedule([]) if idle_faults else None,
+        )
+        start = time.perf_counter()
+        sim.run(intervals=intervals)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def build_faults_report(repeats: int) -> dict:
+    """Idle fault-domain overhead: attached but quiet must be ~free.
+
+    The control-plane fault domain promises that merely *having* a
+    fault layer (empty schedule, no control fault ever fires) costs
+    nothing measurable: hot paths pay one attribute check, the
+    controller reads two always-zero fields per interval, and no
+    randomness is drawn.  Both sides of each pair are measured in the
+    same process run so machine noise hits them equally; the headline
+    is ``overhead_fraction`` against the ≤ 2 % target.
+    """
+    access_off = bench_page_access_path(repeats)
+    access_idle = bench_page_access_path_faults_idle(repeats)
+    loop_off = bench_control_loop(False)
+    loop_idle = bench_control_loop(True)
+    access_overhead = access_idle / access_off - 1.0
+    loop_overhead = loop_idle / loop_off - 1.0
+    benchmarks = {
+        "page_access_no_faults": {
+            "seconds": round(access_off, 6),
+            "us_per_access": round(access_off / ACCESS_COUNT * 1e6, 2),
+        },
+        "page_access_faults_idle": {
+            "seconds": round(access_idle, 6),
+            "us_per_access": round(access_idle / ACCESS_COUNT * 1e6, 2),
+            "overhead_fraction": round(access_overhead, 4),
+            "target_fraction": FAULTS_IDLE_TARGET,
+            "within_target": access_overhead <= FAULTS_IDLE_TARGET,
+        },
+        "control_loop_no_faults": {
+            "seconds": round(loop_off, 6),
+        },
+        "control_loop_faults_idle": {
+            "seconds": round(loop_idle, 6),
+            "overhead_fraction": round(loop_overhead, 4),
+            "target_fraction": FAULTS_IDLE_TARGET,
+            "within_target": loop_overhead <= FAULTS_IDLE_TARGET,
+        },
+    }
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "benchmarks": benchmarks,
+    }
+
+
 def build_report(repeats: int) -> dict:
     benchmarks = {}
 
@@ -707,14 +789,23 @@ def main(argv=None) -> None:
              f"(writes {TELEMETRY_REPORT_PATH.name})",
     )
     parser.add_argument(
+        "--faults", action="store_true",
+        help="measure the idle fault-domain overhead (layer attached, "
+             f"empty schedule, vs. none; writes {FAULTS_REPORT_PATH.name})",
+    )
+    parser.add_argument(
         "--out", type=Path, default=None,
         help=f"output path (default {REPORT_PATH.name}, or "
              f"{SCALING_REPORT_PATH.name} with --scaling, or "
              f"{SWEEP_REPORT_PATH.name} with --sweep, or "
-             f"{TELEMETRY_REPORT_PATH.name} with --telemetry-overhead)",
+             f"{TELEMETRY_REPORT_PATH.name} with --telemetry-overhead, "
+             f"or {FAULTS_REPORT_PATH.name} with --faults)",
     )
     args = parser.parse_args(argv)
-    if args.telemetry_overhead:
+    if args.faults:
+        report = build_faults_report(args.repeats)
+        out = args.out if args.out is not None else FAULTS_REPORT_PATH
+    elif args.telemetry_overhead:
         report = build_telemetry_report(args.repeats)
         out = (
             args.out if args.out is not None else TELEMETRY_REPORT_PATH

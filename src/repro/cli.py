@@ -8,6 +8,8 @@ Commands map one-to-one onto the paper's experiments plus a demo run:
 - ``multiclass`` — the §7.4 sharing study
 - ``overhead``   — the §7.5 overhead breakdown
 - ``resilience`` — fault injection + feedback-loop recovery metrics
+- ``chaos``      — randomized control-plane fault schedules with
+  asserted safety/liveness properties (see docs/faults.md)
 - ``all``        — everything above in sequence
 - ``demo``       — a short quickstart run printing live progress
 - ``trace``      — a short telemetry-instrumented run of one
@@ -130,17 +132,25 @@ def _cmd_overhead(args) -> None:
 
 def _cmd_resilience(args) -> None:
     from repro.experiments.resilience import (
+        control_fault_spec,
         quick_config,
         run_goal_sweep,
         run_resilience,
     )
 
+    from repro.cluster.config import SystemConfig
+
+    config = quick_config() if args.quick else SystemConfig()
+    if args.control and args.faults is None:
+        args.faults = control_fault_spec(
+            args.intervals, config.observation_interval_ms, args.warmup_ms
+        )
     if args.sweep_goals:
         sweep = run_goal_sweep(
             goals=args.sweep_goals,
             seed=args.seed,
             intervals=args.intervals,
-            config=quick_config() if args.quick else None,
+            config=config,
             faults=args.faults,
             replications=args.replications,
             warmup_ms=args.warmup_ms,
@@ -154,7 +164,7 @@ def _cmd_resilience(args) -> None:
     data = run_resilience(
         seed=args.seed,
         intervals=args.intervals,
-        config=quick_config() if args.quick else None,
+        config=config,
         goal_ms=args.goal,
         faults=args.faults,
         replications=args.replications,
@@ -170,6 +180,27 @@ def _cmd_resilience(args) -> None:
         data.save_csv(args.csv)
         print(f"series written to {args.csv}")
     _note_telemetry(args)
+
+
+def _cmd_chaos(args) -> None:
+    from repro.experiments.chaos import run_chaos
+    from repro.experiments.resilience import quick_config
+
+    matrix = run_chaos(
+        seeds=args.seeds,
+        base_seed=args.seed,
+        intervals=args.intervals,
+        config=quick_config() if args.quick else None,
+        goal_ms=args.goal,
+        warmup_ms=args.warmup_ms,
+        jobs=args.jobs,
+    )
+    print(matrix.to_text())
+    if args.json:
+        matrix.save_json(args.json)
+        print(f"matrix written to {args.json}")
+    if not matrix.all_passed():
+        sys.exit(1)
 
 
 def _cmd_scaling(args) -> None:
@@ -428,6 +459,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", metavar="SPEC", default=None,
                    help="fault schedule (default: scaled crash/loss/"
                         "slowdown mix; see docs/faults.md)")
+    p.add_argument("--control", action="store_true",
+                   help="use the control-plane schedule instead "
+                        "(coordinator crashes + a partition; ignored "
+                        "when --faults is given)")
     p.add_argument("--quick", action="store_true",
                    help="scaled-down system for smoke runs")
     p.add_argument("--chart", action="store_true",
@@ -444,6 +479,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(p)
     _add_telemetry_flag(p)
     p.set_defaults(func=_cmd_resilience)
+
+    p = sub.add_parser(
+        "chaos",
+        help="randomized control-plane fault schedules, asserted",
+    )
+    p.add_argument("--seeds", type=int, default=5, metavar="N",
+                   help="number of seeded chaos schedules (default: 5)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed the per-run seeds derive from")
+    p.add_argument("--intervals", type=int, default=40)
+    p.add_argument("--goal", type=float, default=6.0)
+    p.add_argument("--quick", action="store_true",
+                   help="scaled-down system for smoke runs")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the property matrix as JSON "
+                        "(the CI resilience-matrix artifact)")
+    _add_warmup_flag(p, RESILIENCE_WARMUP_MS)
+    _add_jobs_flag(p)
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("scaling", help="node-count / complexity scaling")
     p.add_argument("--seed", type=int, default=7)

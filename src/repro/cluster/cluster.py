@@ -11,14 +11,14 @@ remote cache, or the home node's disk.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.bufmgr.costs import AccessLevel, CostObserver
 from repro.bufmgr.heat import GlobalHeatRegistry
 from repro.bufmgr.manager import NodeBufferManager
 from repro.cluster.config import SystemConfig
 from repro.cluster.database import Database
-from repro.cluster.directory import PageDirectory
+from repro.cluster.directory import DirectoryInvariantError, PageDirectory
 from repro.cluster.messages import MessageKind, message_size
 from repro.cluster.network import Network
 from repro.cluster.node import Node
@@ -65,6 +65,10 @@ class Cluster:
         #: the feedback loop can invalidate state that predates the
         #: crash (see :meth:`restart_node`).
         self._restart_listeners: List[Callable[[int, float], None]] = []
+        #: Anti-entropy sweeps run (see :meth:`reconcile_directory`)
+        #: and directory entries they repaired.
+        self.reconciles = 0
+        self.reconcile_repairs = 0
         # Per-access CPU charges, pre-bound once: the access path reads
         # them on every page access, so the config attribute chain is
         # hoisted out of the hot loop.
@@ -469,6 +473,20 @@ class Cluster:
             granted.append(got)
         return granted
 
+    def apply_node_allocation(
+        self, class_id: int, node_id: int, nbytes: int
+    ) -> int:
+        """Set ``class_id``'s dedicated pool size on one node.
+
+        The single-node variant of :meth:`apply_allocation`, used when
+        a deferred ALLOCATION finally reaches a node after a partition
+        heals.  Returns the granted size.
+        """
+        node = self.nodes[node_id]
+        got, dropped = node.buffers.set_dedicated_bytes(class_id, nbytes)
+        self._unregister(node_id, dropped)
+        return got
+
     def dedicated_bytes(self, class_id: int) -> List[int]:
         """Current per-node dedicated pool sizes for ``class_id``."""
         return [
@@ -518,3 +536,48 @@ class Cluster:
     def _unregister(self, node_id: int, dropped: List[int]) -> None:
         if dropped:
             self.directory.unregister_many(dropped, node_id)
+
+    # -- anti-entropy ---------------------------------------------------
+
+    def pool_contents(self) -> Dict[int, Set[int]]:
+        """Ground truth from the buffer pools: page id -> holder set."""
+        actual: Dict[int, Set[int]] = {}
+        for node in self.nodes:
+            node_id = node.node_id
+            for page_id in node.buffers.cached_pages():
+                holders = actual.get(page_id)
+                if holders is None:
+                    actual[page_id] = {node_id}
+                else:
+                    holders.add(node_id)
+        return actual
+
+    def reconcile_directory(self, reason: str = "manual") -> int:
+        """Anti-entropy sweep: repair the directory against the pools.
+
+        Run after any crash or partition heal.  Every directory entry
+        that disagrees with the actual buffer pool contents is
+        rewritten (one DIRECTORY_UPDATE accounted per repair), then the
+        invariant checker verifies the repaired state — a directory
+        that still disagrees with the pools afterwards indicates a real
+        bookkeeping bug and raises :class:`DirectoryInvariantError`.
+        Returns the number of repaired entries.
+        """
+        actual = self.pool_contents()
+        repaired = self.directory.reconcile(actual)
+        problems = self.directory.audit(actual)
+        if problems:
+            head = "; ".join(problems[:5])
+            raise DirectoryInvariantError(
+                f"directory reconciliation ({reason}) left "
+                f"{len(problems)} inconsistencies: {head}"
+            )
+        self.reconciles += 1
+        self.reconcile_repairs += repaired
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.emit(
+                "reconcile", self.env.now, reason=reason,
+                repaired=repaired, pages_cached=len(actual),
+            )
+        return repaired

@@ -29,6 +29,11 @@ from repro.cluster.messages import MessageKind
 from repro.cluster.network import Network
 
 
+class DirectoryInvariantError(AssertionError):
+    """The directory's columnar state violates its own invariants or
+    disagrees with the actual node pool contents after reconciliation."""
+
+
 class PageDirectory:
     """Tracks, per page, the set of nodes caching it.
 
@@ -230,6 +235,125 @@ class PageDirectory:
         """Number of cached copies across the cluster."""
         count = self._count
         return count[page_id] if page_id < len(count) else 0
+
+    # -- anti-entropy ------------------------------------------------
+
+    def state(self) -> Dict[int, tuple]:
+        """Canonical snapshot of every cached page's directory entry.
+
+        Maps ``page_id -> (count, lowest, sorted holder tuple)`` —
+        exactly the columnar state (count column, lowest column, spill
+        set), so two directories are behaviorally identical iff their
+        snapshots are equal.  Property tests compare a post-fault
+        directory's snapshot against a from-scratch rebuild.
+        """
+        out: Dict[int, tuple] = {}
+        count = self._count
+        for page_id in range(len(count)):
+            n = count[page_id]
+            if n > 0:
+                out[page_id] = (
+                    n,
+                    self._lowest[page_id],
+                    tuple(sorted(self.holders(page_id))),
+                )
+        return out
+
+    def audit(self, actual: Dict[int, Set[int]]) -> list:
+        """Check internal invariants and agreement with ``actual``.
+
+        ``actual`` maps page id to the set of nodes whose buffer pools
+        really hold the page.  Returns a list of human-readable
+        discrepancy strings (empty = clean): count/spill/lowest columns
+        must be mutually consistent, the cached-page counter must add
+        up, and every entry must match the pool truth.
+        """
+        problems = []
+        count = self._count
+        lowest = self._lowest
+        multi = self._multi
+        ncached = 0
+        for page_id in range(len(count)):
+            n = count[page_id]
+            if n > 0:
+                ncached += 1
+            if n <= 1:
+                if page_id in multi:
+                    problems.append(
+                        f"page {page_id}: count {n} but a spill set exists"
+                    )
+            else:
+                holders = multi.get(page_id)
+                if holders is None:
+                    problems.append(
+                        f"page {page_id}: count {n} but no spill set"
+                    )
+                else:
+                    if len(holders) != n:
+                        problems.append(
+                            f"page {page_id}: count {n} != spill set "
+                            f"size {len(holders)}"
+                        )
+                    if holders and min(holders) != lowest[page_id]:
+                        problems.append(
+                            f"page {page_id}: lowest column "
+                            f"{lowest[page_id]} != min holder "
+                            f"{min(holders)}"
+                        )
+            truth = actual.get(page_id, ())
+            mine = self.holders(page_id)
+            if mine != set(truth):
+                problems.append(
+                    f"page {page_id}: directory says {sorted(mine)}, "
+                    f"pools hold {sorted(truth)}"
+                )
+        for page_id, truth in actual.items():
+            if page_id >= len(count) and truth:
+                problems.append(
+                    f"page {page_id}: cached on {sorted(truth)} but "
+                    f"beyond the directory columns"
+                )
+        if ncached != self._ncached:
+            problems.append(
+                f"cached-page counter {self._ncached} != "
+                f"{ncached} pages with holders"
+            )
+        return problems
+
+    def reconcile(self, actual: Dict[int, Set[int]]) -> int:
+        """Anti-entropy repair: rewrite every entry that disagrees with
+        the actual pool contents.  Returns the number of repaired
+        entries; each repair is accounted as one DIRECTORY_UPDATE."""
+        count = self._count
+        pages = set(actual)
+        pages.update(
+            page_id for page_id in range(len(count)) if count[page_id] > 0
+        )
+        repairs = 0
+        for page_id in sorted(pages):
+            truth = set(actual.get(page_id, ()))
+            if self.holders(page_id) == truth:
+                continue
+            if page_id >= len(count):
+                self._grow(page_id)
+                count = self._count
+            n_old = count[page_id]
+            n_new = len(truth)
+            if n_old > 0 and n_new == 0:
+                self._ncached -= 1
+            elif n_old == 0 and n_new > 0:
+                self._ncached += 1
+            self._multi.pop(page_id, None)
+            count[page_id] = n_new
+            if n_new == 1:
+                self._lowest[page_id] = next(iter(truth))
+            elif n_new >= 2:
+                self._lowest[page_id] = min(truth)
+                self._multi[page_id] = set(truth)
+            repairs += 1
+        if repairs:
+            self._account(repairs)
+        return repairs
 
     def _account(self, count: int = 1) -> None:
         if self._network is not None:

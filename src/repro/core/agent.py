@@ -103,6 +103,18 @@ class ClassAgent:
         self._last_reported = report
         self.reports_sent += 1
 
+    def force_report(self) -> None:
+        """Forget what the coordinator knows; the next snapshot is
+        always significant.
+
+        Anti-entropy hook: after a coordinator restart (its remembered
+        reports are gone) or a partition heal (reports sent into the
+        partition never arrived), the significant-change filter would
+        otherwise suppress exactly the re-reports the coordinator needs
+        to rebuild its view.
+        """
+        self._last_reported = None
+
     @property
     def lifetime_mean_response_ms(self) -> float:
         """Mean response time over the whole run."""

@@ -13,6 +13,23 @@ reported back via acknowledgements.
 
 The controller doubles as the workload sink: the generator feeds
 arrivals and completions straight into the right agent.
+
+The control plane is itself a fault domain.  When a ``coordcrash`` is
+scheduled, the coordinators lose their in-memory state and are dark
+until the outage expires; on restart they open a new allocation
+*epoch*, re-learn the granted allocations from (reliable, accounted)
+agent re-reports, and an anti-entropy sweep reconciles the page
+directory.  A ``partition`` cuts nodes off the control network: their
+reports fail fast, allocations addressed to them are deferred (stamped
+with the epoch they were computed under, rejected at delivery if that
+epoch died in the meantime), and a node that misses coordinator
+contact for ``degraded_after`` consecutive intervals enters *degraded
+mode* — frozen at its last-acked allocation, running purely local
+cost-based replacement — until ``rejoin_after`` consecutive intervals
+of restored contact rejoin it.  All of this is polled from the fault
+layer once per interval and costs nothing when no fault layer is
+attached (or no control-plane fault ever fires), so no-fault runs stay
+bit-identical.
 """
 
 from __future__ import annotations
@@ -55,7 +72,13 @@ class GoalOrientedController:
         warmup_step: float = 0.125,
         max_point_age_intervals: Optional[int] = 40,
         auto_balance: bool = False,
+        degraded_after: int = 3,
+        rejoin_after: int = 2,
     ):
+        if degraded_after < 1:
+            raise ValueError("degraded_after must be >= 1")
+        if rejoin_after < 1:
+            raise ValueError("rejoin_after must be >= 1")
         self.cluster = cluster
         self.interval_ms = (
             interval_ms
@@ -108,6 +131,33 @@ class GoalOrientedController:
         self.allocation_retries = 0
         self.allocation_unconfirmed = 0
         self.restarts_observed = 0
+        #: Control-plane fault domain (degraded-mode state machine).
+        #: A node that misses coordinator contact for ``degraded_after``
+        #: consecutive intervals freezes at its last-acked allocation;
+        #: ``rejoin_after`` consecutive contact intervals rejoin it.
+        self.degraded_after = degraded_after
+        self.rejoin_after = rejoin_after
+        self.degraded: List[bool] = [False] * n
+        self._missed = [0] * n
+        self._streak = [0] * n
+        self._coord_down = False
+        self._coord_crashes_seen = 0
+        self._cut_prev: frozenset = frozenset()
+        #: Allocations addressed to unreachable/degraded nodes, keyed
+        #: node -> class -> (epoch, requested bytes); delivered when
+        #: the node re-syncs, rejected there if the epoch died.
+        self._pending: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        #: Control-plane fault counters: coordinator outages observed,
+        #: reports that failed fast against an unreachable control
+        #: plane, allocations deferred for later delivery, deferred
+        #: allocations rejected as stale at delivery, and degraded-mode
+        #: transitions.
+        self.coordinator_crashes = 0
+        self.reports_unreachable = 0
+        self.allocations_deferred = 0
+        self.stale_allocations_rejected = 0
+        self.degraded_entries = 0
+        self.degraded_exits = 0
         #: Run-wide streaming p95 per goal class, across all nodes
         #: (the per-node agent estimates cannot be merged after the
         #: fact, so the tail is tracked class-globally as well).
@@ -187,6 +237,163 @@ class GoalOrientedController:
                 self._hit_counts[key] = (0, 0)
         for coordinator in self.coordinators.values():
             coordinator.on_node_restart(node_id, now)
+        # Anti-entropy after any crash: verify (and, were it ever
+        # inconsistent, repair) the directory against the actual pools.
+        self.cluster.reconcile_directory("node_restart")
+
+    # -- control-plane fault domain -------------------------------------
+
+    def _control_fault_tick(self, now: float) -> Tuple[bool, frozenset]:
+        """Poll the fault layer's control-plane state, once per interval.
+
+        Returns ``(coordinator down?, partitioned node set)`` and runs
+        the edge transitions: coordinator crash (state wipe) and
+        recovery (new epoch, re-reports, reconciliation), partition
+        heals (forced re-reports, reconciliation), and the per-node
+        degraded-mode state machine.
+        """
+        faults = self.cluster.faults
+        crashes = faults.coord_crashes
+        if crashes > self._coord_crashes_seen:
+            # One or more crashes since the last tick (possibly shorter
+            # than an interval): coordinator memory died at the first.
+            self._coord_crashes_seen = crashes
+            if not self._coord_down:
+                self._coord_down = True
+                self.coordinator_crashes += 1
+                for coordinator in self.coordinators.values():
+                    coordinator.on_coordinator_crash(now)
+        coord_down = faults.coordinator_down(now)
+        if self._coord_down and not coord_down:
+            self._recover_coordinators(now)
+
+        cut = frozenset(faults.partitioned_nodes(now))
+        healed = self._cut_prev - cut
+        if healed:
+            # Reports sent toward the partition never arrived; the
+            # healed nodes' agents must re-report, and the directory
+            # gets an anti-entropy sweep.
+            for node_id in sorted(healed):
+                self._force_reports(node_id)
+            self.cluster.reconcile_directory("partition_heal")
+        self._cut_prev = cut
+
+        # Degraded-mode state machine: enter after ``degraded_after``
+        # consecutive intervals without contact, rejoin (hysteresis)
+        # after ``rejoin_after`` consecutive intervals with contact.
+        telemetry = self.telemetry
+        for node_id in range(self.cluster.num_nodes):
+            if not coord_down and node_id not in cut:
+                self._missed[node_id] = 0
+                if self.degraded[node_id]:
+                    self._streak[node_id] += 1
+                    if self._streak[node_id] >= self.rejoin_after:
+                        self.degraded[node_id] = False
+                        self._streak[node_id] = 0
+                        self.degraded_exits += 1
+                        if telemetry is not None:
+                            telemetry.emit(
+                                "degraded_exit", now, node=node_id,
+                                contact_streak=self.rejoin_after,
+                            )
+            else:
+                self._streak[node_id] = 0
+                self._missed[node_id] += 1
+                if (
+                    not self.degraded[node_id]
+                    and self._missed[node_id] >= self.degraded_after
+                ):
+                    self.degraded[node_id] = True
+                    self.degraded_entries += 1
+                    if telemetry is not None:
+                        telemetry.emit(
+                            "degraded_enter", now, node=node_id,
+                            missed_intervals=self._missed[node_id],
+                        )
+        return coord_down, cut
+
+    def _recover_coordinators(self, now: float) -> None:
+        """Coordinator restart protocol: the outage has expired.
+
+        Every node re-reports its granted allocation to the restarted
+        coordinator — modelled as a reliable, retransmitting state
+        transfer and accounted as one AGENT_REPORT per remote node —
+        which adopts it under a fresh epoch.  All agents are forced to
+        re-report (the remembered reports died with the old process),
+        and an anti-entropy sweep repairs the directory.
+        """
+        self._coord_down = False
+        network = self.cluster.network
+        n = self.cluster.num_nodes
+        for class_id, coordinator in self.coordinators.items():
+            if n > 1:
+                network.account_many(MessageKind.AGENT_REPORT, n - 1)
+            coordinator.on_coordinator_restart(
+                now, self.cluster.dedicated_bytes(class_id)
+            )
+        for agent in self.agents.values():
+            agent.force_report()
+        self.cluster.reconcile_directory("coordcrash")
+        if self.telemetry is not None:
+            epochs = [c.epoch for c in self.coordinators.values()]
+            self.telemetry.emit(
+                "coord_restart", now, epoch=max(epochs, default=0),
+            )
+
+    def _force_reports(self, node_id: int) -> None:
+        """Make every agent on ``node_id`` re-report next interval."""
+        for (_, nid), agent in self.agents.items():
+            if nid == node_id:
+                agent.force_report()
+
+    def _drain_pending(self, node_id: int, now: float) -> None:
+        """Deliver ALLOCATIONs queued for a node that re-synced.
+
+        Each entry finally traverses the control network; the node's
+        agent compares the stamped epoch against the current one (it
+        learned the current epoch while re-syncing) and rejects
+        dead-epoch messages with a nack — the stale-allocation
+        guarantee the chaos harness asserts.
+        """
+        entries = self._pending.pop(node_id, None)
+        if not entries:
+            return
+        network = self.cluster.network
+        telemetry = self.telemetry
+        buffers = self.cluster.nodes[node_id].buffers
+        for class_id in sorted(entries):
+            epoch, req = entries[class_id]
+            coordinator = self.coordinators.get(class_id)
+            if coordinator is None:
+                continue
+            if not network.send_control(MessageKind.ALLOCATION):
+                continue  # lost on the wire; folds into the next interval
+            old = buffers.dedicated_bytes(class_id)
+            stale = epoch != coordinator.epoch
+            applied = False
+            acked = False
+            if stale:
+                # Dead-epoch message: rejected by the agent, nacked.
+                self.stale_allocations_rejected += 1
+                network.send_control(MessageKind.ALLOCATION_ACK)
+            else:
+                granted = self.cluster.apply_node_allocation(
+                    class_id, node_id, req
+                )
+                applied = True
+                acked = network.send_control(MessageKind.ALLOCATION_ACK)
+                if acked:
+                    coordinator.current_allocation[node_id] = float(granted)
+                else:
+                    self.allocation_unconfirmed += 1
+            if telemetry is not None:
+                telemetry.emit(
+                    "allocation_ship", now, class_id=class_id,
+                    node=node_id, requested_bytes=req, previous_bytes=old,
+                    local=False, applied=applied, acked=acked,
+                    retried=False, deferred=True, stale=stale,
+                    epoch=epoch,
+                )
 
     # -- coordinator placement (§5) -----------------------------------
 
@@ -239,6 +446,22 @@ class GoalOrientedController:
             now = env.now
             telemetry = self.telemetry
 
+            # Control-plane fault domain: poll coordinator/partition
+            # state once per interval.  Without a fault layer this is
+            # one attribute check; with one but no control-plane fault
+            # scheduled it reads two always-zero fields and draws no
+            # randomness, so behavior is unchanged either way.
+            coord_down = False
+            cut: frozenset = frozenset()
+            if self.cluster.faults is not None:
+                coord_down, cut = self._control_fault_tick(now)
+                if self._pending and not coord_down:
+                    # Deliver allocations queued for nodes that have
+                    # re-synced (reachable again and not degraded).
+                    for node_id in sorted(self._pending):
+                        if node_id not in cut and not self.degraded[node_id]:
+                            self._drain_pending(node_id, now)
+
             # Phase (a): every agent closes its observation window.
             reports: Dict[Tuple[int, int], AgentReport] = {}
             for key, agent in self.agents.items():
@@ -253,6 +476,14 @@ class GoalOrientedController:
             for (class_id, node_id), report in reports.items():
                 agent = self.agents[(class_id, node_id)]
                 if not agent.significant_change(report):
+                    continue
+                if coord_down or node_id in cut:
+                    # The control plane is unreachable from this node
+                    # (coordinator dark, or the node is partitioned):
+                    # the send fails fast and the agent knows it, so
+                    # nothing is marked reported — contact restoration
+                    # forces a re-report anyway.
+                    self.reports_unreachable += 1
                     continue
                 agent.mark_reported(report)
                 if class_id == NO_GOAL_CLASS:
@@ -307,15 +538,21 @@ class GoalOrientedController:
                     key = (class_id, node.node_id)
                     last_h, last_m = self._hit_counts.get(key, (0, 0))
                     self._hit_counts[key] = (hits, misses)
-                    coordinator.receive_hit_info(
-                        node.node_id, hits - last_h, misses - last_m
-                    )
+                    if not coord_down:
+                        coordinator.receive_hit_info(
+                            node.node_id, hits - last_h, misses - last_m
+                        )
 
-            # Phases (c)-(e) per goal class.
+            # Phases (c)-(e) per goal class.  A dark coordinator can
+            # evaluate nothing; it still logs an outage record so the
+            # decision log stays interval-aligned for recovery metrics.
             for class_id, coordinator in self.coordinators.items():
-                other = self._other_dedicated(class_id)
-                decision = coordinator.evaluate(now, other)
-                self._apply(class_id, coordinator, decision)
+                if coord_down:
+                    decision = coordinator.record_outage(now)
+                else:
+                    other = self._other_dedicated(class_id)
+                    decision = coordinator.evaluate(now, other)
+                    self._apply(class_id, coordinator, decision, cut)
                 self._record(class_id, coordinator, decision, now)
 
             if self.auto_balance:
@@ -343,6 +580,7 @@ class GoalOrientedController:
         class_id: int,
         coordinator: Coordinator,
         decision: CoordinatorDecision,
+        cut: frozenset = frozenset(),
     ) -> None:
         """Phase (e): ship the allocation with ack/timeout/one-retry.
 
@@ -372,9 +610,36 @@ class GoalOrientedController:
         # node's local agent, and whether the coordinator hears back.
         effective = list(previous)
         confirmed = [True] * n
+        epoch = coordinator.epoch
         for node_id, (req, old) in enumerate(zip(requested, previous)):
             if req == old:
                 continue  # nothing to ship, nothing to confirm
+            if node_id in cut or self.degraded[node_id]:
+                # Partitioned or degraded (frozen at its last-acked
+                # allocation): defer delivery, stamped with the epoch
+                # the proposal was computed under.  The agent rejects
+                # it at delivery if that epoch died in the meantime.
+                self._pending.setdefault(node_id, {})[class_id] = (
+                    epoch, req
+                )
+                self.allocations_deferred += 1
+                confirmed[node_id] = False
+                if telemetry is not None:
+                    telemetry.emit(
+                        "allocation_ship", now, class_id=class_id,
+                        node=node_id, requested_bytes=req,
+                        previous_bytes=old, local=False, applied=False,
+                        acked=False, retried=False, deferred=True,
+                        epoch=epoch,
+                    )
+                continue
+            # A fresh direct ship supersedes anything still queued for
+            # this (node, class) from an earlier outage.
+            queued = self._pending.get(node_id)
+            if queued is not None:
+                queued.pop(class_id, None)
+                if not queued:
+                    del self._pending[node_id]
             if node_id == home:
                 effective[node_id] = req  # local, reliable
                 if telemetry is not None:
@@ -382,7 +647,8 @@ class GoalOrientedController:
                         "allocation_ship", now, class_id=class_id,
                         node=node_id, requested_bytes=req,
                         previous_bytes=old, local=True, applied=True,
-                        acked=True, retried=False,
+                        acked=True, retried=False, deferred=False,
+                        epoch=epoch,
                     )
                 continue
             retries_before = self.allocation_retries
@@ -398,6 +664,7 @@ class GoalOrientedController:
                     node=node_id, requested_bytes=req, previous_bytes=old,
                     local=False, applied=applied, acked=acked,
                     retried=self.allocation_retries > retries_before,
+                    deferred=False, epoch=epoch,
                 )
 
         granted = self.cluster.apply_allocation(class_id, effective)
@@ -418,6 +685,7 @@ class GoalOrientedController:
                 granted=[float(g) for g in granted],
                 believed=[float(b) for b in believed],
                 confirmed=confirmed,
+                epoch=epoch,
             )
 
     def _allocation_exchange(self, network) -> Tuple[bool, bool]:

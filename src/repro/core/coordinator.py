@@ -133,6 +133,14 @@ class Coordinator:
         #: node restarts this coordinator has been told about.
         self.invalidated_points = 0
         self.restarts_seen = 0
+        #: Allocation epoch: bumped on every coordinator restart.  Every
+        #: shipped ALLOCATION is stamped with the epoch it was computed
+        #: under; agents reject messages from a dead epoch, so a
+        #: restarted coordinator's stale in-flight proposals can never
+        #: be applied (see docs/faults.md, "Allocation epochs").
+        self.epoch = 0
+        #: Coordinator process crashes survived (epoch bumps).
+        self.crashes = 0
         #: Bounded audit of every evaluate() outcome: a true ring that
         #: evicts its oldest entry once the cap is reached.
         self.decision_log = RingLog(512)
@@ -233,6 +241,51 @@ class Coordinator:
         self.tolerance.reset()
         self._settle = 0
         self.restarts_seen += 1
+
+    def on_coordinator_crash(self, now: float) -> None:
+        """The coordinator process itself died: wipe in-memory state.
+
+        Everything phase (b) accumulated lives in coordinator memory —
+        the measure window, the remembered agent reports, hit info, and
+        the warm-up cursor — so a crash loses all of it.  Lifetime
+        experiment counters (optimizations, lp_solves, the decision
+        log) survive: they are experimenter bookkeeping, not
+        coordinator state.
+        """
+        self.invalidated_points += self.window.clear()
+        self.goal_reports.clear()
+        self.nogoal_reports.clear()
+        self.hit_info.clear()
+        self._warmup = _WarmupState()
+        self._settle = 0
+        self.tolerance.reset()
+        self.crashes += 1
+
+    def on_coordinator_restart(self, now: float, granted: List[int]) -> None:
+        """The coordinator came back: open a new epoch and re-learn.
+
+        ``granted`` is the allocation actually in force on the node
+        agents (re-reported after the restart); the restarted
+        coordinator adopts it as its belief instead of trusting
+        anything written before the crash.  The epoch bump makes every
+        pre-crash ALLOCATION message permanently rejectable.
+        """
+        self.epoch += 1
+        self.current_allocation = np.asarray(granted, dtype=float)
+
+    def record_outage(self, now: float) -> CoordinatorDecision:
+        """Log a coordinator-dark interval.
+
+        Recovery metrics index the decision log per interval, so
+        intervals during which the coordinator was down must still
+        produce a record — observed nothing, satisfied nothing.
+        """
+        return self._log_decision(now, CoordinatorDecision(
+            observed_rt=None,
+            observed_nogoal_rt=None,
+            satisfied=False,
+            mechanism="coord_down",
+        ))
 
     # -- phases (c) + (d): check and optimize --------------------------------
 

@@ -134,6 +134,17 @@ class MeasureWindow:
         self._history = [p for p in self._history if p.time >= time]
         return before - len(self._history)
 
+    def clear(self) -> int:
+        """Drop every point; return the count.
+
+        Used when the coordinator process itself crashes: the window
+        lives in coordinator memory, so nothing survives — the restarted
+        coordinator rebuilds it from post-restart agent re-reports.
+        """
+        count = len(self._history)
+        self._history = []
+        return count
+
     def _fresh_history(self, now: Optional[float]) -> List[MeasurePoint]:
         if self.max_age is None or now is None:
             return self._history

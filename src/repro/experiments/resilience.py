@@ -33,7 +33,7 @@ from __future__ import annotations
 import functools
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.config import NodeParameters, SystemConfig
 from repro.experiments.parallel import derive_replicate_seed, run_tasks
@@ -92,6 +92,35 @@ def default_fault_spec(
     )
 
 
+def control_fault_spec(
+    intervals: int, interval_ms: float, warmup_ms: float = 0.0
+) -> str:
+    """Control-plane resilience schedule, scaled to the run horizon.
+
+    The coordinator crashes twice (at ~20 % and ~75 % of the horizon),
+    node 0 is partitioned off the control network long enough to enter
+    degraded mode (~40 %), and a node crash lands at ~60 % so node- and
+    control-plane recovery interleave.  The first coordinator outage
+    lasts three observation intervals (state wipe + epoch bump + full
+    re-learn); the partition lasts five so the degraded-mode state
+    machine is exercised end to end with the default thresholds.
+    """
+    if intervals < 16:
+        raise ValueError("the control-plane schedule needs >= 16 intervals")
+    horizon = intervals * interval_ms
+    restart = interval_ms
+
+    def at(fraction: float) -> float:
+        return warmup_ms + fraction * horizon
+
+    return (
+        f"coordcrash@{at(0.20):.0f}:dur={3 * interval_ms:.0f};"
+        f"partition@{at(0.40):.0f}:nodes=0:dur={5 * interval_ms:.0f};"
+        f"crash@{at(0.60):.0f}:node=any:restart={restart:.0f};"
+        f"coordcrash@{at(0.75):.0f}:dur={2 * interval_ms:.0f}"
+    )
+
+
 @dataclass(frozen=True)
 class FaultOutcome:
     """Recovery metrics of one injected fault."""
@@ -105,6 +134,8 @@ class FaultOutcome:
     reattained_after: Optional[int]
     #: Goal-violation area over the recovery window, in ms·s.
     violation_area: float
+    #: Partitioned node set (empty for other kinds).
+    nodes: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -124,6 +155,17 @@ class ResilienceReplicate:
     allocation_retries: int = 0
     allocation_unconfirmed: int = 0
     invalidated_points: int = 0
+    #: Control-plane fault counters (all zero unless coordcrash or
+    #: partition clauses were scheduled).
+    coordinator_crashes: int = 0
+    reports_unreachable: int = 0
+    allocations_deferred: int = 0
+    stale_allocations_rejected: int = 0
+    degraded_entries: int = 0
+    degraded_exits: int = 0
+    reconciles: int = 0
+    reconcile_repairs: int = 0
+    final_epoch: int = 0
     #: Whole-run goal-violation area, in ms·s.
     total_violation_area: float = 0.0
     #: Streaming p95 of the goal class's response times (P² estimate).
@@ -165,6 +207,29 @@ class ResilienceData:
             return None
         return sum(recovered) / len(recovered)
 
+    def outcomes_by_kind(self) -> Dict[str, List[FaultOutcome]]:
+        """All fault outcomes across replicates, grouped by kind."""
+        by_kind: Dict[str, List[FaultOutcome]] = {}
+        for rep in self.replicates:
+            for f in rep.faults:
+                by_kind.setdefault(f.kind, []).append(f)
+        return by_kind
+
+    def control_outcomes(self) -> List[FaultOutcome]:
+        """Coordinator-crash and partition outcomes across replicates."""
+        return [
+            f for rep in self.replicates for f in rep.faults
+            if f.kind in ("coordcrash", "partition")
+        ]
+
+    def all_control_faults_reattained(self) -> bool:
+        """True when the goal was reattained after every control-plane
+        fault (coordinator crash or partition)."""
+        control = self.control_outcomes()
+        return bool(control) and all(
+            f.reattained_after is not None for f in control
+        )
+
     def mean_violation_area(self) -> float:
         """Mean whole-run goal-violation area per replicate (ms·s)."""
         if not self.replicates:
@@ -188,11 +253,17 @@ class ResilienceData:
         rows = []
         for rep in self.replicates:
             for f in rep.faults:
+                if f.node is not None:
+                    target = f.node
+                elif f.nodes:
+                    target = ",".join(str(n) for n in f.nodes)
+                else:
+                    target = "-"
                 rows.append([
                     rep.seed,
                     f.kind,
                     f"{f.time_ms:.0f}",
-                    "-" if f.node is None else f.node,
+                    target,
                     (
                         f.reattained_after
                         if f.reattained_after is not None else "never"
@@ -227,8 +298,51 @@ class ResilienceData:
             f"{sum(r.allocation_unconfirmed for r in self.replicates)}, "
             f"measure points invalidated: "
             f"{sum(r.invalidated_points for r in self.replicates)}",
-            f"all crashes reattained: {self.all_crashes_reattained()}",
         ]
+        by_kind = self.outcomes_by_kind()
+        if by_kind:
+            parts = []
+            for kind in sorted(by_kind):
+                outcomes = by_kind[kind]
+                recovered = [
+                    f.reattained_after for f in outcomes
+                    if f.reattained_after is not None
+                ]
+                mean = (
+                    f"{sum(recovered) / len(recovered):.1f}"
+                    if recovered else "never"
+                )
+                parts.append(
+                    f"{kind} n={len(outcomes)} "
+                    f"reattain={mean}/{len(recovered)}ok"
+                )
+            lines.append("reattainment by kind: " + ", ".join(parts))
+        if any(r.coordinator_crashes or r.allocations_deferred
+               for r in self.replicates):
+            reps = self.replicates
+            lines.append(
+                f"control plane: coordinator crashes "
+                f"{sum(r.coordinator_crashes for r in reps)}, "
+                f"reports unreachable "
+                f"{sum(r.reports_unreachable for r in reps)}, "
+                f"allocations deferred "
+                f"{sum(r.allocations_deferred for r in reps)}, "
+                f"stale rejected "
+                f"{sum(r.stale_allocations_rejected for r in reps)}, "
+                f"degraded enter/exit "
+                f"{sum(r.degraded_entries for r in reps)}/"
+                f"{sum(r.degraded_exits for r in reps)}, "
+                f"reconciles {sum(r.reconciles for r in reps)} "
+                f"(repairs {sum(r.reconcile_repairs for r in reps)})"
+            )
+        lines.append(
+            f"all crashes reattained: {self.all_crashes_reattained()}"
+        )
+        if self.control_outcomes():
+            lines.append(
+                f"all control faults reattained: "
+                f"{self.all_control_faults_reattained()}"
+            )
         return "\n".join(lines)
 
     def to_chart(self) -> str:
@@ -302,6 +416,7 @@ def _recovery_metrics(
                 duration_ms=fault.duration_ms,
                 reattained_after=reattained,
                 violation_area=area,
+                nodes=fault.nodes,
             )
         )
     return outcomes
@@ -362,6 +477,15 @@ def _measure_resilience(
     rep.allocation_unconfirmed = controller.allocation_unconfirmed
     rep.invalidated_points = coordinator.invalidated_points
     rep.p95_rt_ms = controller.p95_response_ms(GOAL_CLASS)
+    rep.coordinator_crashes = controller.coordinator_crashes
+    rep.reports_unreachable = controller.reports_unreachable
+    rep.allocations_deferred = controller.allocations_deferred
+    rep.stale_allocations_rejected = controller.stale_allocations_rejected
+    rep.degraded_entries = controller.degraded_entries
+    rep.degraded_exits = controller.degraded_exits
+    rep.reconciles = sim.cluster.reconciles
+    rep.reconcile_repairs = sim.cluster.reconcile_repairs
+    rep.final_epoch = coordinator.epoch
     sim.export_telemetry()
     return rep
 

@@ -17,7 +17,21 @@ attached the hot paths see a ``None`` and pay a single attribute load.
 - ``netdelay``: every network transfer pays extra wire latency for the
   episode;
 - ``diskslow``: one node's disk service times are multiplied by the
-  configured factor for the episode.
+  configured factor for the episode;
+- ``coordcrash``: the coordinator loses its in-memory control state
+  and is unreachable for the episode — the controller observes the
+  outage at its next interval tick, wipes coordinator state, and on
+  expiry restarts it under a fresh allocation epoch (see
+  :mod:`repro.core.controller`);
+- ``partition``: the listed nodes lose control-plane contact with the
+  coordinator and each other for the episode; the data path is
+  assumed to reroute and stays reliable.
+
+The coordinator/partition state is *passive*: the layer only records
+"down until" timestamps and a crash counter, and the controller polls
+them at interval boundaries.  No expiry processes are spawned and no
+randomness is consumed, so scheduling control-plane faults perturbs
+nothing else.
 
 Message-drop decisions draw from the dedicated ``faults/drops`` stream
 *only while a loss episode is active*, so an idle fault layer consumes
@@ -28,7 +42,7 @@ empty schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.faults.schedule import FaultEvent, FaultSchedule
 from repro.sim.rng import RandomStreams
@@ -47,12 +61,22 @@ class InjectedFault:
     duration_ms: float
     #: Pages dropped by a crash (0 for other kinds).
     dropped_pages: int = 0
+    #: Partitioned node set (empty for other kinds).
+    nodes: Tuple[int, ...] = ()
 
 
 class FaultLayer:
     """Mutable fault state consulted by the simulation hot paths."""
 
-    __slots__ = ("drop_p", "extra_ms", "_down_until", "_drop_stream")
+    __slots__ = (
+        "drop_p",
+        "extra_ms",
+        "_down_until",
+        "_drop_stream",
+        "coord_down_until",
+        "coord_crashes",
+        "_partition_until",
+    )
 
     def __init__(self, rng: RandomStreams):
         #: Control-message drop probability of the active loss episode.
@@ -61,6 +85,13 @@ class FaultLayer:
         self.extra_ms = 0.0
         self._down_until: Dict[int, float] = {}
         self._drop_stream = rng.stream(DROPS_STREAM)
+        #: Simulated time until which the coordinator is unreachable.
+        self.coord_down_until = 0.0
+        #: Total coordinator crashes injected so far; the controller
+        #: compares this against its last-seen count so crashes shorter
+        #: than one observation interval still wipe state exactly once.
+        self.coord_crashes = 0
+        self._partition_until: Dict[int, float] = {}
 
     # -- network ----------------------------------------------------
 
@@ -87,6 +118,53 @@ class FaultLayer:
             del self._down_until[node_id]
             return 0.0
         return until - now
+
+    # -- control plane -----------------------------------------------
+
+    def mark_coordinator_down(self, until_ms: float) -> None:
+        """Record a coordinator crash lasting until ``until_ms``."""
+        self.coord_crashes += 1
+        if until_ms > self.coord_down_until:
+            self.coord_down_until = until_ms
+
+    def coordinator_down(self, now: float) -> bool:
+        """Is the coordinator unreachable at ``now``?"""
+        return now < self.coord_down_until
+
+    def mark_partitioned(
+        self, node_ids: Iterable[int], until_ms: float
+    ) -> None:
+        """Cut the listed nodes off the control network until
+        ``until_ms`` (max-merged with any partition already active)."""
+        for node_id in node_ids:
+            current = self._partition_until.get(node_id, 0.0)
+            if until_ms > current:
+                self._partition_until[node_id] = until_ms
+
+    def partitioned(self, node_id: int, now: float) -> bool:
+        """Is ``node_id`` cut off the control network at ``now``?
+        (Self-clearing: expired entries are removed on query.)"""
+        until = self._partition_until.get(node_id)
+        if until is None:
+            return False
+        if until <= now:
+            del self._partition_until[node_id]
+            return False
+        return True
+
+    def partitioned_nodes(self, now: float) -> Tuple[int, ...]:
+        """Sorted node ids currently cut off the control network.
+        (Self-clearing: expired entries are removed on query.)"""
+        if not self._partition_until:
+            return ()
+        expired = [
+            node_id
+            for node_id, until in self._partition_until.items()
+            if until <= now
+        ]
+        for node_id in expired:
+            del self._partition_until[node_id]
+        return tuple(sorted(self._partition_until))
 
 
 class FaultInjector:
@@ -150,6 +228,16 @@ class FaultInjector:
             disk.fault_factor = event.factor
             env.process(self._expire_diskslow(event.node, event.duration_ms))
             duration = event.duration_ms
+        elif event.kind == "coordcrash":
+            # Passive: the controller polls coord_down_until at its
+            # next interval tick; no expiry process is needed.
+            self.layer.mark_coordinator_down(env.now + event.duration_ms)
+            duration = event.duration_ms
+        elif event.kind == "partition":
+            self.layer.mark_partitioned(
+                event.nodes, env.now + event.duration_ms
+            )
+            duration = event.duration_ms
         else:  # pragma: no cover - the parser rejects unknown kinds
             raise ValueError(f"unknown fault kind {event.kind!r}")
         fault = InjectedFault(
@@ -158,6 +246,7 @@ class FaultInjector:
             node=event.node,
             duration_ms=duration,
             dropped_pages=dropped,
+            nodes=event.nodes,
         )
         self.injected.append(fault)
         telemetry = self.cluster.telemetry

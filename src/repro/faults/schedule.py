@@ -25,6 +25,22 @@ Supported kinds and their options (times in simulated milliseconds):
     Disk slowdown episode on ``node`` (index or ``any``): service
     times multiply by ``factor`` (default 4.0) for ``dur`` ms (default
     5000).
+``coordcrash``
+    Coordinator process crash: the control plane loses its in-memory
+    state (measure windows, remembered reports) and is unreachable for
+    ``dur`` ms (default 5000).  On restart the coordinator opens a new
+    allocation *epoch* and rebuilds its view from agent re-reports;
+    allocations shipped under the dead epoch are rejected by agents.
+``partition``
+    Control-network partition: ``nodes`` (comma-separated indices or
+    ``any``, default ``any``) lose control-plane contact with the
+    coordinator and all other nodes for ``dur`` ms (default 5000).
+    Data-plane transfers are assumed to reroute and stay reliable.
+
+Validation: episode durations (``dur``) must be strictly positive, and
+the one-shot crash windows of ``crash`` (with an explicit ``node``)
+and ``coordcrash`` clauses must not overlap on the same target —
+overlapping windows would make "which restart wins" ambiguous.
 
 Periodic clauses additionally accept ``start`` (first occurrence,
 default = one period) and ``jitter`` (uniform extra delay in [0,
@@ -47,7 +63,14 @@ from repro.sim.rng import RandomStreams
 #: streams, so adding a schedule never perturbs arrivals or page draws.
 SCHEDULE_STREAM = "faults/schedule"
 
-_KINDS = ("crash", "netloss", "netdelay", "diskslow")
+_KINDS = (
+    "crash",
+    "netloss",
+    "netdelay",
+    "diskslow",
+    "coordcrash",
+    "partition",
+)
 
 #: Per-kind defaults for the optional clause keys.
 _DEFAULTS = {
@@ -55,6 +78,8 @@ _DEFAULTS = {
     "netloss": {"dur": 5000.0, "p": 0.3},
     "netdelay": {"dur": 5000.0, "extra": 1.0},
     "diskslow": {"node": "any", "dur": 5000.0, "factor": 4.0},
+    "coordcrash": {"dur": 5000.0},
+    "partition": {"nodes": "any", "dur": 5000.0},
 }
 
 #: Keys each kind accepts (beyond the periodic-only start/jitter).
@@ -63,6 +88,8 @@ _ALLOWED_KEYS = {
     "netloss": {"dur", "p"},
     "netdelay": {"dur", "extra"},
     "diskslow": {"node", "dur", "factor"},
+    "coordcrash": {"dur"},
+    "partition": {"nodes", "dur"},
 }
 
 
@@ -81,6 +108,9 @@ class FaultClause:
     jitter_ms: float = 0.0
     #: Target node: an index, or "any" for a seeded draw per occurrence.
     node: Union[int, str, None] = None
+    #: Partitioned node set: a tuple of indices, or "any" for a seeded
+    #: single-node draw per occurrence.
+    nodes: Union[Tuple[int, ...], str, None] = None
     duration_ms: float = 0.0
     probability: float = 0.0
     factor: float = 1.0
@@ -105,6 +135,8 @@ class FaultEvent:
     factor: float = 1.0
     extra_ms: float = 0.0
     restart_delay_ms: float = 0.0
+    #: Resolved partitioned node set (empty for other kinds).
+    nodes: Tuple[int, ...] = ()
 
 
 def _parse_float(key: str, value: str) -> float:
@@ -115,6 +147,44 @@ def _parse_float(key: str, value: str) -> float:
     if parsed < 0:
         raise ValueError(f"fault spec: {key} must be non-negative")
     return parsed
+
+
+def _parse_duration(key: str, value: str) -> float:
+    """Episode durations must be strictly positive: a zero-length
+    episode would silently do nothing, which is always a spec typo."""
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise ValueError(f"fault spec: {key}={value!r} is not a number")
+    if parsed <= 0:
+        raise ValueError(
+            f"fault spec: {key} must be a positive number of ms "
+            f"(got {value})"
+        )
+    return parsed
+
+
+def _parse_nodes(raw: str) -> Union[Tuple[int, ...], str]:
+    """Parse a ``nodes=`` value: 'any' or a comma-separated index list."""
+    if raw == "any":
+        return "any"
+    ids: List[int] = []
+    for part in str(raw).split(","):
+        try:
+            index = int(part.strip())
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"fault spec: nodes={raw!r} is not a comma-separated "
+                f"list of node indices or 'any'"
+            )
+        if index < 0:
+            raise ValueError("fault spec: node index must be >= 0")
+        if index in ids:
+            raise ValueError(
+                f"fault spec: nodes={raw!r} lists node {index} twice"
+            )
+        ids.append(index)
+    return tuple(ids)
 
 
 def _parse_clause(text: str) -> FaultClause:
@@ -160,7 +230,8 @@ def _parse_clause(text: str) -> FaultClause:
     if unknown:
         raise ValueError(
             f"fault spec: {kind} does not accept "
-            f"{', '.join(sorted(unknown))}"
+            f"{', '.join(sorted(unknown))} "
+            f"(allowed: {', '.join(sorted(allowed))})"
         )
 
     merged = dict(_DEFAULTS[kind])
@@ -181,6 +252,10 @@ def _parse_clause(text: str) -> FaultClause:
             if node < 0:
                 raise ValueError("fault spec: node index must be >= 0")
 
+    nodes: Union[Tuple[int, ...], str, None] = None
+    if "nodes" in merged:
+        nodes = _parse_nodes(str(merged["nodes"]))
+
     probability = 0.0
     if kind == "netloss":
         probability = _parse_float("p", str(merged["p"]))
@@ -199,7 +274,7 @@ def _parse_clause(text: str) -> FaultClause:
         restart = _parse_float("restart", str(merged["restart"]))
     duration = 0.0
     if "dur" in merged:
-        duration = _parse_float("dur", str(merged["dur"]))
+        duration = _parse_duration("dur", str(merged["dur"]))
 
     return FaultClause(
         kind=kind,
@@ -208,6 +283,7 @@ def _parse_clause(text: str) -> FaultClause:
         start_ms=start,
         jitter_ms=jitter,
         node=node,
+        nodes=nodes,
         duration_ms=duration,
         probability=probability,
         factor=factor,
@@ -216,11 +292,45 @@ def _parse_clause(text: str) -> FaultClause:
     )
 
 
+def _check_crash_overlaps(clauses: List[FaultClause]) -> None:
+    """Reject one-shot crash windows that overlap on the same target.
+
+    Only windows whose target is statically known are checked: ``crash``
+    with an explicit node index, and ``coordcrash`` (whose target is
+    always the coordinator).  ``node=any`` and periodic clauses resolve
+    per occurrence and cannot be vetted at parse time.
+    """
+    windows: dict = {}
+    for clause in clauses:
+        if clause.periodic or clause.time_ms is None:
+            continue
+        if clause.kind == "crash" and isinstance(clause.node, int):
+            target = f"node {clause.node}"
+            end = clause.time_ms + clause.restart_delay_ms
+        elif clause.kind == "coordcrash":
+            target = "the coordinator"
+            end = clause.time_ms + clause.duration_ms
+        else:
+            continue
+        desc = f"{clause.kind}@{clause.time_ms:g}"
+        for start0, end0, desc0 in windows.get(target, ()):
+            if clause.time_ms < end0 and start0 < end:
+                raise ValueError(
+                    f"fault spec: overlapping crash windows on {target}: "
+                    f"{desc} (down until {end:g} ms) overlaps "
+                    f"{desc0} (down until {end0:g} ms)"
+                )
+        windows.setdefault(target, []).append(
+            (clause.time_ms, end, desc)
+        )
+
+
 class FaultSchedule:
     """A parsed fault spec: an ordered, seedable source of fault events."""
 
     def __init__(self, clauses: List[FaultClause]):
         self.clauses = list(clauses)
+        _check_crash_overlaps(self.clauses)
 
     @classmethod
     def parse(cls, spec: str) -> "FaultSchedule":
@@ -259,10 +369,22 @@ class FaultSchedule:
                         f"(cluster has {num_nodes} nodes)"
                     )
                 node = int(clause.node)
+            nodes: Tuple[int, ...] = ()
+            if clause.nodes == "any":
+                nodes = (stream.randrange(num_nodes),)
+            elif clause.nodes is not None:
+                for index in clause.nodes:
+                    if index >= num_nodes:
+                        raise ValueError(
+                            f"fault spec: node {index} does not exist "
+                            f"(cluster has {num_nodes} nodes)"
+                        )
+                nodes = tuple(clause.nodes)
             return FaultEvent(
                 kind=clause.kind,
                 time_ms=time_ms,
                 node=node,
+                nodes=nodes,
                 duration_ms=clause.duration_ms,
                 probability=clause.probability,
                 factor=clause.factor,

@@ -116,6 +116,13 @@ def _timeline_event(record: Dict) -> Dict:
         pid, tid = _PID_FAULTS, int(record.get("node") or 0)
         cat = "faults"
         name = f"fault:{record.get('fault', '?')}"
+    elif kind in ("degraded_enter", "degraded_exit", "reconcile",
+                  "coord_restart"):
+        # Control-plane fault-domain transitions live on the faults
+        # process, one thread per node (0 for cluster-wide records).
+        pid, tid = _PID_FAULTS, int(record.get("node") or 0)
+        cat = "faults"
+        name = kind
     else:
         pid = _PID_CONTROLLER
         tid = int(record.get("class_id") or 0)

@@ -90,6 +90,7 @@ class Telemetry:
             "fault", fault.time_ms, fault=fault.kind, node=fault.node,
             duration_ms=fault.duration_ms,
             dropped_pages=fault.dropped_pages,
+            nodes=list(fault.nodes),
         )
 
     def emit(self, kind: str, t: float, **fields) -> None:
@@ -228,11 +229,41 @@ def _controller_sampler(controller, tel: Telemetry) -> Callable[[], None]:
         registry.counter(
             "repro_controller_restarts_observed_total"
         ).value = controller.restarts_observed
+        registry.counter(
+            "repro_controller_coordinator_crashes_total"
+        ).value = controller.coordinator_crashes
+        registry.counter(
+            "repro_controller_reports_unreachable_total"
+        ).value = controller.reports_unreachable
+        registry.counter(
+            "repro_controller_allocations_deferred_total"
+        ).value = controller.allocations_deferred
+        registry.counter(
+            "repro_controller_stale_allocations_rejected_total"
+        ).value = controller.stale_allocations_rejected
+        registry.counter(
+            "repro_controller_degraded_entries_total"
+        ).value = controller.degraded_entries
+        registry.counter(
+            "repro_controller_degraded_exits_total"
+        ).value = controller.degraded_exits
+        registry.gauge(
+            "repro_controller_degraded_nodes"
+        ).set(sum(controller.degraded))
+        registry.counter(
+            "repro_cluster_directory_reconciles_total"
+        ).value = controller.cluster.reconciles
+        registry.counter(
+            "repro_cluster_directory_repairs_total"
+        ).value = controller.cluster.reconcile_repairs
         registry.gauge(
             "repro_controller_intervals"
         ).set(controller.interval_index)
         for class_id, coordinator in sorted(controller.coordinators.items()):
             labels = {"class": class_id}
+            registry.gauge(
+                "repro_coordinator_epoch", **labels
+            ).set(coordinator.epoch)
             registry.counter(
                 "repro_coordinator_optimizations_total", **labels
             ).value = coordinator.optimizations

@@ -8,7 +8,8 @@ from repro.cli import build_parser, main
 def test_parser_knows_all_commands():
     parser = build_parser()
     commands = {"table1", "figure2", "table2", "multiclass",
-                "overhead", "resilience", "scaling", "all", "demo"}
+                "overhead", "resilience", "scaling", "all", "demo",
+                "chaos"}
     for command in commands:
         args = parser.parse_args(
             [command] + (["--quick"] if command == "all" else [])
@@ -94,3 +95,33 @@ def test_resilience_rejects_malformed_fault_spec():
             "resilience", "--quick", "--intervals", "16",
             "--replications", "1", "--faults", "explode@1",
         ])
+
+
+def test_resilience_control_schedule(capsys):
+    main([
+        "resilience", "--quick", "--control", "--intervals", "40",
+        "--replications", "1",
+    ])
+    out = capsys.readouterr().out
+    assert "coordcrash" in out
+    assert "partition" in out
+    assert "all control faults reattained: True" in out
+
+
+def test_chaos_defaults():
+    args = build_parser().parse_args(["chaos"])
+    assert args.seeds == 5
+    assert args.seed == 0
+    assert args.intervals == 40
+    assert args.goal == 6.0
+    assert args.json is None
+    assert not args.quick
+
+
+def test_chaos_runs_end_to_end(capsys, tmp_path):
+    path = tmp_path / "matrix.json"
+    main(["chaos", "--quick", "--seeds", "1", "--json", str(path)])
+    out = capsys.readouterr().out
+    assert "Chaos matrix (1 seeds, 40 intervals)" in out
+    assert "all seeds passed: True" in out
+    assert path.exists()

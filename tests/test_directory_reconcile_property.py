@@ -1,0 +1,109 @@
+"""Property: the directory survives any crash/partition schedule.
+
+After a run whose fault schedule mixes node crashes, coordinator
+crashes, and partitions — followed by a fault-free quiesce tail — the
+page directory's columnar state must equal a from-scratch rebuild from
+the actual buffer pool contents, and its own invariant audit must come
+back clean.  This is the anti-entropy guarantee the chaos harness
+asserts per seed, here driven by Hypothesis over random schedules.
+
+The simulations are deliberately tiny (the shared fast-config scale,
+few intervals) so the whole suite stays in the tier-1 budget.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.config import NodeParameters, SystemConfig
+from repro.experiments.chaos import rebuild_directory_state
+from repro.experiments.runner import Simulation
+from repro.workload.spec import ClassSpec, WorkloadSpec, partition_pages
+
+INTERVAL_MS = 2000.0
+WARMUP_MS = 4000.0
+#: Fault-free tail so deferred deliveries and heals all land.
+QUIESCE_INTERVALS = 3
+
+
+def _config() -> SystemConfig:
+    return SystemConfig(
+        num_nodes=3,
+        num_pages=400,
+        node=NodeParameters(buffer_bytes=256 * 1024),
+        observation_interval_ms=INTERVAL_MS,
+    )
+
+
+def _workload(config: SystemConfig) -> WorkloadSpec:
+    nogoal_pages, goal_pages = partition_pages(config.num_pages, 2)
+    return WorkloadSpec(classes=[
+        ClassSpec(class_id=0, goal_ms=None, pages=nogoal_pages,
+                  pages_per_op=4, arrival_rate_per_node=0.02),
+        ClassSpec(class_id=1, goal_ms=5.0, pages=goal_pages,
+                  pages_per_op=4, arrival_rate_per_node=0.02),
+    ])
+
+
+# One drawn fault: (kind, start interval, duration/restart intervals,
+# target).  Times are in whole intervals after the warm-up, offset off
+# the interval boundary so injection order vs. the controller tick is
+# never ambiguous.
+_clauses = st.lists(
+    st.tuples(
+        st.sampled_from(["crash", "coordcrash", "partition"]),
+        st.integers(min_value=0, max_value=4),   # start interval
+        st.integers(min_value=1, max_value=3),   # duration intervals
+        st.integers(min_value=0, max_value=2),   # node (crash/partition)
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+def _spec(clauses) -> str:
+    parts = []
+    coord_end = 0.0  # serialize coordcrash windows (overlap is rejected)
+    crash_end = {}   # likewise per crashed node
+    for kind, start, dur, node in clauses:
+        at = WARMUP_MS + start * INTERVAL_MS + 500.0
+        length = dur * INTERVAL_MS
+        if kind == "coordcrash":
+            at = max(at, coord_end)
+            coord_end = at + length
+            parts.append(f"coordcrash@{at:.0f}:dur={length:.0f}")
+        elif kind == "crash":
+            at = max(at, crash_end.get(node, 0.0))
+            crash_end[node] = at + length
+            parts.append(f"crash@{at:.0f}:node={node}:restart={length:.0f}")
+        else:
+            parts.append(f"partition@{at:.0f}:nodes={node}:dur={length:.0f}")
+    return ";".join(parts)
+
+
+@given(clauses=_clauses, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=12, deadline=None)
+def test_directory_matches_rebuild_after_any_schedule(clauses, seed):
+    spec = _spec(clauses)
+    config = _config()
+    sim = Simulation(
+        config=config, workload=_workload(config), seed=seed,
+        warmup_ms=WARMUP_MS, faults=spec,
+    )
+    last_end = max(
+        float(part.split("@")[1].split(":")[0])
+        + float(part.split("=")[-1])
+        for part in spec.split(";")
+    )
+    faulty = max(
+        0, int((last_end - WARMUP_MS) // INTERVAL_MS) + 1
+    )
+    sim.run(intervals=faulty + QUIESCE_INTERVALS)
+
+    cluster = sim.cluster
+    actual = cluster.pool_contents()
+    assert cluster.directory.audit(actual) == []
+    assert cluster.directory.state() == rebuild_directory_state(actual)
+    # And reconciliation agrees there is nothing left to repair.
+    assert cluster.reconcile_directory("property_test") == 0

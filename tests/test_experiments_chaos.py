@@ -1,0 +1,160 @@
+"""Tests for the chaos harness (schedule generation and properties)."""
+
+import json
+
+import pytest
+
+from repro.experiments.chaos import (
+    ChaosMatrix,
+    ChaosSeedResult,
+    QUIESCE_FRACTION,
+    generate_schedule,
+    rebuild_directory_state,
+    run_chaos,
+    run_digest,
+)
+from repro.experiments.resilience import quick_config
+from repro.experiments.runner import Simulation
+from repro.faults import FaultSchedule
+from repro.workload.spec import ClassSpec, WorkloadSpec
+
+
+# -- schedule generation -----------------------------------------------
+
+
+def test_generate_schedule_is_deterministic_in_seed():
+    a = generate_schedule(7, 40, 2000.0, 3, warmup_ms=10_000.0)
+    b = generate_schedule(7, 40, 2000.0, 3, warmup_ms=10_000.0)
+    c = generate_schedule(8, 40, 2000.0, 3, warmup_ms=10_000.0)
+    assert a == b
+    assert a != c
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_generated_schedules_parse_and_cover_the_tentpole(seed):
+    spec = generate_schedule(seed, 40, 2000.0, 3, warmup_ms=10_000.0)
+    schedule = FaultSchedule.parse(spec)
+    kinds = [c.kind for c in schedule.clauses]
+    assert "coordcrash" in kinds
+    assert "partition" in kinds
+    assert set(kinds) <= {"coordcrash", "partition", "crash"}
+    # Every fault (including its duration) ends inside the fault
+    # window, leaving the quiesce tail fault-free.
+    horizon = 40 * 2000.0
+    for clause in schedule.clauses:
+        end = clause.time_ms + (
+            clause.restart_delay_ms
+            if clause.kind == "crash" else clause.duration_ms
+        )
+        assert end <= 10_000.0 + (1.0 - QUIESCE_FRACTION) * horizon
+
+
+def test_generate_schedule_validates_scale():
+    with pytest.raises(ValueError):
+        generate_schedule(0, 19, 2000.0, 3)
+    with pytest.raises(ValueError):
+        generate_schedule(0, 40, 2000.0, 1)
+
+
+# -- directory rebuild helper ------------------------------------------
+
+
+def test_rebuild_directory_state_matches_snapshot_format():
+    pools = {7: {2}, 9: {0, 2, 1}, 11: set()}
+    assert rebuild_directory_state(pools) == {
+        7: (1, 2, (2,)),
+        9: (3, 0, (0, 1, 2)),
+    }
+
+
+# -- end-state digest --------------------------------------------------
+
+
+def _tiny_sim(seed=3):
+    config = quick_config()
+    workload = WorkloadSpec(classes=[
+        ClassSpec(class_id=0, goal_ms=None, pages=range(0, 200),
+                  pages_per_op=4, arrival_rate_per_node=0.02),
+        ClassSpec(class_id=1, goal_ms=6.0, pages=range(200, 400),
+                  pages_per_op=4, arrival_rate_per_node=0.02),
+    ])
+    return Simulation(
+        config=config, workload=workload, seed=seed, warmup_ms=2000.0,
+    )
+
+
+def test_run_digest_separates_identical_from_diverged_runs():
+    first, second = _tiny_sim(), _tiny_sim()
+    first.run(intervals=4)
+    second.run(intervals=4)
+    assert run_digest(first) == run_digest(second)
+    second.run(intervals=1)  # one extra interval: clocks diverge
+    assert run_digest(first) != run_digest(second)
+
+
+# -- the matrix --------------------------------------------------------
+
+
+def _result(seed, passed=True):
+    checks = {
+        "directory_clean": True,
+        "directory_matches_rebuild": True,
+        "no_dead_epoch_applied": True,
+        "goal_reattained": passed,
+    }
+    result = ChaosSeedResult(
+        seed=seed, fault_spec="coordcrash@1:dur=1", checks=checks,
+    )
+    if not passed:
+        result.failures.append("goal never reattained")
+    return result
+
+
+def test_matrix_all_passed_requires_results_and_identity():
+    empty = ChaosMatrix(intervals=40, goal_ms=6.0)
+    assert not empty.all_passed()
+    good = ChaosMatrix(intervals=40, goal_ms=6.0, results=[_result(0)])
+    assert good.all_passed()
+    good.identity_ok = False
+    assert not good.all_passed()
+
+
+def test_matrix_text_names_failed_properties():
+    matrix = ChaosMatrix(
+        intervals=40, goal_ms=6.0,
+        results=[_result(0), _result(1, passed=False)],
+    )
+    text = matrix.to_text()
+    assert "FAIL: goal_reattained" in text
+    assert "seed 1: goal never reattained" in text
+    assert "all seeds passed: False" in text
+    assert "no-fault pair bit-identical: True" in text
+
+
+def test_matrix_json_roundtrip(tmp_path):
+    matrix = ChaosMatrix(
+        intervals=40, goal_ms=6.0, results=[_result(5)],
+    )
+    path = tmp_path / "matrix.json"
+    matrix.save_json(str(path))
+    payload = json.loads(path.read_text())
+    assert payload["all_passed"] is True
+    assert payload["results"][0]["seed"] == 5
+    assert payload["results"][0]["checks"]["goal_reattained"] is True
+
+
+# -- end-to-end --------------------------------------------------------
+
+
+def test_run_chaos_single_seed_passes_all_properties():
+    matrix = run_chaos(seeds=1, config=quick_config())
+    assert len(matrix.results) == 1
+    [result] = matrix.results
+    assert set(result.checks) == {
+        "directory_clean", "directory_matches_rebuild",
+        "no_dead_epoch_applied", "goal_reattained",
+    }
+    assert result.coordinator_crashes >= 1
+    assert result.final_epoch >= 1
+    assert matrix.identity_ok
+    assert matrix.all_passed()

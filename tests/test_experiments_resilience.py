@@ -5,6 +5,7 @@ import pytest
 from repro.core.coordinator import DecisionRecord
 from repro.experiments.resilience import (
     _recovery_metrics,
+    control_fault_spec,
     default_fault_spec,
     quick_config,
     run_resilience,
@@ -139,3 +140,48 @@ def test_resilience_csv_export(small_run, tmp_path):
     lines = path.read_text().strip().splitlines()
     assert lines[0] == "interval,observed_rt_ms,goal_ms,satisfied"
     assert len(lines) == 31
+
+
+# -- the control-plane schedule ----------------------------------------
+
+
+def test_control_fault_spec_parses_and_scales():
+    spec = control_fault_spec(40, 2000.0, warmup_ms=10_000.0)
+    schedule = FaultSchedule.parse(spec)
+    kinds = [c.kind for c in schedule.clauses]
+    assert kinds == ["coordcrash", "partition", "crash", "coordcrash"]
+    first = schedule.clauses[0]
+    assert first.time_ms == 10_000 + 0.20 * 80_000
+    assert first.duration_ms == 3 * 2000.0
+    partition = schedule.clauses[1]
+    assert partition.nodes == (0,)
+    assert partition.duration_ms == 5 * 2000.0
+
+
+def test_control_fault_spec_needs_room_to_recover():
+    with pytest.raises(ValueError):
+        control_fault_spec(15, 2000.0)
+
+
+def test_resilience_reattains_after_control_faults():
+    # The acceptance bar for the control-plane fault domain: with the
+    # coordinator crashing twice and node 0 partitioned into degraded
+    # mode, the goal class re-enters its band after every fault.
+    spec = control_fault_spec(40, 2000.0, warmup_ms=10_000.0)
+    data = run_resilience(
+        seed=0, intervals=40, config=quick_config(), replications=1,
+        faults=spec,
+    )
+    assert len(data.control_outcomes()) == 3
+    assert data.all_control_faults_reattained()
+    assert data.all_crashes_reattained()
+    [rep] = data.replicates
+    assert rep.coordinator_crashes == 2
+    assert rep.final_epoch == 2
+    assert rep.degraded_entries >= 1
+    assert rep.degraded_exits == rep.degraded_entries
+    assert rep.reconciles >= 3  # two coordcrashes + partition heal
+    text = data.to_text()
+    assert "all control faults reattained: True" in text
+    assert "control plane: coordinator crashes 2" in text
+    assert "reattainment by kind:" in text

@@ -42,6 +42,32 @@ def test_down_delay_counts_down_and_self_clears():
     assert 1 not in layer._down_until  # entry removed once elapsed
 
 
+def test_coordinator_down_state_counts_crashes_and_expires():
+    layer = FaultLayer(RandomStreams(0))
+    assert not layer.coordinator_down(0.0)
+    assert layer.coord_crashes == 0
+    layer.mark_coordinator_down(until_ms=500.0)
+    assert layer.coord_crashes == 1
+    assert layer.coordinator_down(499.0)
+    assert not layer.coordinator_down(500.0)
+    # A second, shorter outage still counts; the longer window wins.
+    layer.mark_coordinator_down(until_ms=800.0)
+    layer.mark_coordinator_down(until_ms=600.0)
+    assert layer.coord_crashes == 3
+    assert layer.coordinator_down(700.0)
+
+
+def test_partition_state_per_node_and_self_clears():
+    layer = FaultLayer(RandomStreams(0))
+    layer.mark_partitioned((0, 2), until_ms=400.0)
+    assert layer.partitioned(0, now=100.0)
+    assert not layer.partitioned(1, now=100.0)
+    assert layer.partitioned_nodes(100.0) == (0, 2)
+    assert layer.partitioned_nodes(400.0) == ()
+    assert not layer.partitioned(0, now=500.0)
+    assert not layer._partition_until  # entries removed once elapsed
+
+
 # -- injector: state transitions ---------------------------------------
 
 
@@ -116,6 +142,31 @@ def test_injection_ledger_is_deterministic(fast_config):
     assert first.injected == second.injected
     _, other = _run_with(fast_config, spec, until=12_000.0, seed=6)
     assert len(other.injected) == len(first.injected)
+
+
+def test_coordcrash_event_marks_coordinator_down(fast_config):
+    cluster, injector = _run_with(
+        fast_config, "coordcrash@1000:dur=2000", until=1500.0
+    )
+    assert injector.layer.coordinator_down(1500.0)
+    assert injector.layer.coord_crashes == 1
+    [fault] = injector.injected
+    assert fault.kind == "coordcrash"
+    assert fault.node is None
+    cluster.env.run(until=3500.0)
+    assert not injector.layer.coordinator_down(3500.0)
+
+
+def test_partition_event_cuts_listed_nodes(fast_config):
+    cluster, injector = _run_with(
+        fast_config, "partition@1000:nodes=0,1:dur=2000", until=1500.0
+    )
+    assert injector.layer.partitioned_nodes(1500.0) == (0, 1)
+    [fault] = injector.injected
+    assert fault.kind == "partition"
+    assert fault.nodes == (0, 1)
+    cluster.env.run(until=3500.0)
+    assert injector.layer.partitioned_nodes(3500.0) == ()
 
 
 def test_crashed_node_access_waits_out_the_downtime(fast_config):

@@ -45,6 +45,28 @@ def test_parse_netdelay_and_diskslow_defaults():
     assert slow.node == "any"
 
 
+def test_parse_coordcrash_with_defaults():
+    clause = _parse_clause("coordcrash@8000")
+    assert clause.kind == "coordcrash"
+    assert clause.time_ms == 8000.0
+    assert clause.duration_ms == 5000.0
+    assert clause.node is None
+    assert clause.nodes is None
+
+
+def test_parse_partition_node_list():
+    clause = _parse_clause("partition@4000:nodes=2,0:dur=3000")
+    assert clause.kind == "partition"
+    assert clause.nodes == (2, 0)
+    assert clause.duration_ms == 3000.0
+
+
+def test_parse_partition_defaults_to_any():
+    clause = _parse_clause("partition@4000")
+    assert clause.nodes == "any"
+    assert clause.duration_ms == 5000.0
+
+
 def test_parse_spec_splits_on_semicolons():
     schedule = FaultSchedule.parse(
         "crash@1000; netloss@2000:p=0.1 ;; diskslow@3000"
@@ -65,10 +87,92 @@ def test_parse_spec_splits_on_semicolons():
     "crash@1000:node=-1",        # negative node
     "crash@1000:node",           # malformed option
     "netloss:every=0",           # non-positive period
+    "coordcrash@1000:dur=0",     # zero-length outage
+    "coordcrash@1000:dur=-5",    # negative duration
+    "netloss@1000:dur=0",        # zero-length episode
+    "coordcrash@1000:node=0",    # coordcrash has no node key
+    "partition@1000:nodes=0,x",  # non-integer node in the list
+    "partition@1000:nodes=1,1",  # duplicate node in the list
+    "partition@1000:nodes=-2",   # negative node in the list
+    "partition@1000:p=0.5",      # key not allowed for kind
 ])
 def test_parse_rejects_malformed_specs(bad):
     with pytest.raises(ValueError):
         FaultSchedule.parse(bad)
+
+
+@pytest.mark.parametrize("bad,fragment", [
+    ("coordcrash@1000:dur=0", "dur must be a positive number"),
+    ("coordcrash@1000:node=0", "allowed: dur"),
+    ("partition@1000:nodes=0,x", "comma-separated"),
+    ("partition@1000:nodes=1,1", "lists node 1 twice"),
+    ("explode@1000", "unknown fault kind"),
+])
+def test_rejection_messages_name_the_problem(bad, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        FaultSchedule.parse(bad)
+
+
+# -- crash-window overlap validation ----------------------------------
+
+
+def test_overlapping_coordcrash_windows_rejected():
+    with pytest.raises(ValueError, match="overlapping crash windows"):
+        FaultSchedule.parse(
+            "coordcrash@1000:dur=5000;coordcrash@3000:dur=1000"
+        )
+
+
+def test_overlapping_node_crash_windows_rejected():
+    with pytest.raises(ValueError, match="node 2"):
+        FaultSchedule.parse(
+            "crash@1000:node=2:restart=4000;crash@2000:node=2:restart=100"
+        )
+
+
+def test_disjoint_and_cross_target_windows_accepted():
+    # Back-to-back windows (end == next start) do not overlap, and
+    # different targets never conflict.
+    schedule = FaultSchedule.parse(
+        "coordcrash@1000:dur=2000;coordcrash@3000:dur=1000;"
+        "crash@1500:node=0:restart=500;crash@1500:node=1:restart=500"
+    )
+    assert len(schedule) == 4
+
+
+def test_node_any_crashes_exempt_from_overlap_check():
+    # 'any' resolves per occurrence at event time; the parser cannot
+    # know the target, so these must parse.
+    schedule = FaultSchedule.parse(
+        "crash@1000:node=any:restart=9000;crash@2000:node=any:restart=9000"
+    )
+    assert len(schedule) == 2
+
+
+# -- partition / coordcrash event resolution --------------------------
+
+
+def test_partition_nodes_resolved_and_validated():
+    events = list(FaultSchedule.parse(
+        "partition@1000:nodes=0,2:dur=100"
+    ).events(RandomStreams(0), num_nodes=3))
+    assert events[0].nodes == (0, 2)
+    with pytest.raises(ValueError):
+        list(FaultSchedule.parse("partition@1:nodes=5").events(
+            RandomStreams(0), num_nodes=3
+        ))
+
+
+def test_partition_any_draws_one_seeded_node():
+    spec = "partition:every=1000:nodes=any:dur=10"
+    drawn = {
+        e.nodes
+        for e in itertools.islice(
+            FaultSchedule.parse(spec).events(RandomStreams(5), 4), 16
+        )
+    }
+    assert all(len(nodes) == 1 and 0 <= nodes[0] < 4 for nodes in drawn)
+    assert len(drawn) > 1
 
 
 # -- event generation -------------------------------------------------
