@@ -55,6 +55,9 @@ TELEMETRY_REPORT_PATH = (
 FAULTS_REPORT_PATH = (
     Path(__file__).resolve().parent.parent / "BENCH_faults.json"
 )
+ANALYTIC_REPORT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_analytic.json"
+)
 #: The acceptance bar for an attached-but-idle fault layer: at most
 #: this fraction of extra wall clock on either measured level.
 FAULTS_IDLE_TARGET = 0.02
@@ -531,6 +534,108 @@ def build_sweep_report() -> dict:
     }
 
 
+def _sweep_bench_config():
+    """The quick sweep-bench system shared by --sweep and --analytic."""
+    from repro.cluster.config import NodeParameters
+    from repro.experiments.calibration import GoalRange
+
+    config = SystemConfig(
+        num_nodes=3,
+        num_pages=400,
+        node=NodeParameters(buffer_bytes=256 * 1024),
+        observation_interval_ms=2_000.0,
+    )
+    goal_range = GoalRange(class_id=1, goal_min_ms=2.0, goal_max_ms=8.0)
+    return config, goal_range
+
+
+def build_analytic_report(grid: int = 1_000) -> dict:
+    """Analytic fast-path cost: grid solves + prescreened-sweep speedup.
+
+    Three layers of numbers:
+
+    - ``grid_*``: wall clock of classifying a ``grid``-point goal grid
+      with the MVA solver alone (the quick sweep-bench system and the
+      paper's default system) — the ms-per-analytic-point headline.
+    - ``goal_sweep_brute_12``: a 12-point unscreened forked sweep,
+      measured; its per-point rate extrapolates to the
+      ``grid``-point brute-force cost (clearly labelled — nobody runs
+      a 1000-point brute sweep to benchmark it).
+    - ``goal_sweep_prescreened``: the same sweep with
+      ``prescreen=grid``, measured end to end: dense analytic grid,
+      frontier extraction, simulation of only the selected points.
+    """
+    from repro.analytic.frontier import prescreen_goals
+    from repro.experiments.figure2 import run_goal_sweep, sweep_goals
+    from repro.experiments.runner import default_workload
+
+    benchmarks = {}
+    quick_config, goal_range = _sweep_bench_config()
+    goals = sweep_goals(goal_range, grid)
+
+    for name, config in (
+        ("quick_3n_400p", quick_config),
+        ("default_3n_2000p", SystemConfig()),
+    ):
+        workload = default_workload(config)
+        start = time.perf_counter()
+        report = prescreen_goals(config, workload, goals)
+        elapsed = time.perf_counter() - start
+        benchmarks[f"grid_{grid}_{name}"] = {
+            "grid": report.grid_size,
+            "frontier": report.frontier_size,
+            "mva_solves": report.solves,
+            "seconds": round(elapsed, 6),
+            "ms_per_analytic_point": round(
+                elapsed * 1000.0 / report.grid_size, 4
+            ),
+            "regimes": report.regime_counts(),
+        }
+
+    brute_points = 12
+    start = time.perf_counter()
+    brute = run_goal_sweep(
+        points=brute_points, seed=42, intervals=4, config=quick_config,
+        goal_range=goal_range, warmup_ms=20_000.0, jobs=1, runner="fork",
+    )
+    brute_seconds = time.perf_counter() - start
+    assert len(brute.points) == brute_points
+
+    start = time.perf_counter()
+    screened = run_goal_sweep(
+        seed=42, intervals=4, config=quick_config,
+        goal_range=goal_range, warmup_ms=20_000.0, jobs=1,
+        runner="fork", prescreen=grid,
+    )
+    screened_seconds = time.perf_counter() - start
+    simulated = len(screened.points)
+
+    extrapolated = brute_seconds / brute_points * grid
+    benchmarks["goal_sweep_brute_12"] = {
+        "points": brute_points,
+        "seconds": round(brute_seconds, 6),
+        f"extrapolated_{grid}_point_seconds": round(extrapolated, 3),
+    }
+    benchmarks["goal_sweep_prescreened"] = {
+        "grid": grid,
+        "simulated_points": simulated,
+        "simulated_fraction": round(simulated / grid, 4),
+        "analytic_seconds": round(
+            screened.prescreen.solver_ms / 1000.0, 6
+        ),
+        "seconds": round(screened_seconds, 6),
+        "speedup_vs_extrapolated_brute": round(
+            extrapolated / screened_seconds, 2
+        ),
+    }
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "jobs": 1,
+        "benchmarks": benchmarks,
+    }
+
+
 def bench_page_access_telemetry(attached: bool, repeats: int) -> float:
     """The data-shipping access path with telemetry off or attached.
 
@@ -794,15 +899,25 @@ def main(argv=None) -> None:
              f"empty schedule, vs. none; writes {FAULTS_REPORT_PATH.name})",
     )
     parser.add_argument(
+        "--analytic", action="store_true",
+        help="measure the analytic fast path (ms per MVA grid point, "
+             "frontier size, prescreened vs. brute sweep wall clock; "
+             f"writes {ANALYTIC_REPORT_PATH.name})",
+    )
+    parser.add_argument(
         "--out", type=Path, default=None,
         help=f"output path (default {REPORT_PATH.name}, or "
              f"{SCALING_REPORT_PATH.name} with --scaling, or "
              f"{SWEEP_REPORT_PATH.name} with --sweep, or "
              f"{TELEMETRY_REPORT_PATH.name} with --telemetry-overhead, "
-             f"or {FAULTS_REPORT_PATH.name} with --faults)",
+             f"{FAULTS_REPORT_PATH.name} with --faults, or "
+             f"{ANALYTIC_REPORT_PATH.name} with --analytic)",
     )
     args = parser.parse_args(argv)
-    if args.faults:
+    if args.analytic:
+        report = build_analytic_report()
+        out = args.out if args.out is not None else ANALYTIC_REPORT_PATH
+    elif args.faults:
         report = build_faults_report(args.repeats)
         out = args.out if args.out is not None else FAULTS_REPORT_PATH
     elif args.telemetry_overhead:

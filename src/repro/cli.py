@@ -14,6 +14,8 @@ Commands map one-to-one onto the paper's experiments plus a demo run:
 - ``demo``       — a short quickstart run printing live progress
 - ``trace``      — a short telemetry-instrumented run of one
   experiment (see docs/observability.md)
+- ``validate-analytic`` — cross-validate the simulator against exact
+  MVA on product-form-reducible configurations (see docs/analytic.md)
 
 ``figure2``, ``multiclass``, ``resilience``, and ``scaling`` accept
 ``--telemetry DIR`` to export structured traces, metrics, and a
@@ -44,15 +46,27 @@ def _cmd_table1(args) -> None:
     print(table1.to_text(rows))
 
 
+def _note_prescreen(report) -> None:
+    if report is None:
+        return
+    print(
+        f"prescreen: {report.grid_size} analytic points -> "
+        f"{report.frontier_size} simulated "
+        f"({report.solver_ms:.1f} ms, {report.solves} MVA solves)"
+    )
+
+
 def _cmd_figure2(args) -> None:
     from repro.experiments.figure2 import run_figure2, run_goal_sweep
 
-    if args.sweep:
+    if args.sweep or args.prescreen:
         sweep = run_goal_sweep(
-            points=args.sweep, seed=args.seed, intervals=args.intervals,
+            points=args.sweep or 8, seed=args.seed,
+            intervals=args.intervals,
             warmup_ms=args.warmup_ms, jobs=args.jobs, runner=args.runner,
-            telemetry=args.telemetry,
+            telemetry=args.telemetry, prescreen=args.prescreen or None,
         )
+        _note_prescreen(sweep.prescreen)
         print(sweep.to_text())
         _note_telemetry(args)
         return
@@ -103,12 +117,16 @@ def _cmd_multiclass(args) -> None:
         run_sharing_sweep,
     )
 
-    if args.goal_pairs:
-        sweep = run_goal_sweep(
-            goal_pairs=args.goal_pairs, intervals=args.intervals,
-            warmup_ms=args.warmup_ms, jobs=args.jobs, runner=args.runner,
-            telemetry=args.telemetry,
+    if args.goal_pairs or args.prescreen:
+        kwargs = dict(
+            intervals=args.intervals, warmup_ms=args.warmup_ms,
+            jobs=args.jobs, runner=args.runner,
+            telemetry=args.telemetry, prescreen=args.prescreen or None,
         )
+        if args.goal_pairs:
+            kwargs["goal_pairs"] = args.goal_pairs
+        sweep = run_goal_sweep(**kwargs)
+        _note_prescreen(sweep.prescreen)
         print(sweep.to_text())
         _note_telemetry(args)
         return
@@ -246,6 +264,14 @@ def _cmd_trace(args) -> None:
             config=quick_config(), goal_range=GoalRange(1, 2.0, 8.0),
             warmup_ms=4000.0, telemetry=out,
         )
+    elif args.experiment == "prescreen":
+        from repro.experiments.figure2 import run_goal_sweep
+
+        run_goal_sweep(
+            seed=args.seed, intervals=args.intervals,
+            config=quick_config(), goal_range=GoalRange(1, 2.0, 8.0),
+            warmup_ms=4000.0, telemetry=out, prescreen=100,
+        )
     elif args.experiment == "multiclass":
         from repro.experiments.multiclass import (
             doubled_cache_config,
@@ -303,6 +329,27 @@ def _cmd_trace(args) -> None:
     print(f"artifacts ({len(artifacts)} files):")
     for path in artifacts:
         print(f"  {path}")
+
+
+def _cmd_validate_analytic(args) -> None:
+    """Cross-validate simulated steady state against exact MVA."""
+    import json
+
+    from repro.analytic.validate import run_validation
+
+    report = run_validation(
+        quick=args.quick, seed=args.seed, jobs=args.jobs,
+        tolerance=args.tolerance, method=args.method,
+    )
+    print(report.to_text())
+    print(f"worst relative error: {report.worst_error():.1%}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.json}")
+    if not report.all_passed():
+        sys.exit(1)
 
 
 def _cmd_demo(args) -> None:
@@ -390,6 +437,20 @@ def _add_warmup_flag(
     )
 
 
+def _add_prescreen_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--prescreen", type=int, default=0, metavar="N",
+        help=(
+            "analytic fast path: classify a dense N-point goal grid "
+            "with the multiclass MVA solver (milliseconds) and "
+            "simulate only the feasibility frontier — a small, "
+            "budget-capped subset whose results are bit-identical to "
+            "the same points of an unscreened sweep (see "
+            "docs/analytic.md)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -418,6 +479,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="instead of the figure, sweep POINTS fixed "
                         "goals across the calibrated range (amortized "
                         "by the warm-state fork server)")
+    _add_prescreen_flag(p)
     _add_warmup_flag(p, DEFAULT_WARMUP_MS)
     _add_runner_flag(p)
     _add_jobs_flag(p)
@@ -438,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="instead of the sharing sweep, sweep these "
                         "(goal k1, goal k2) pairs off one warmed "
                         "simulation, e.g. --goal-pairs 3:8 4:10 5:12")
+    _add_prescreen_flag(p)
     _add_warmup_flag(p, DEFAULT_WARMUP_MS)
     _add_runner_flag(p)
     _add_jobs_flag(p)
@@ -530,14 +593,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "experiment",
-        choices=("figure2", "multiclass", "resilience", "scaling"),
-        help="which experiment to trace (scaled-down quick settings)",
+        choices=("figure2", "multiclass", "resilience", "scaling",
+                 "prescreen"),
+        help="which experiment to trace (scaled-down quick settings; "
+             "'prescreen' runs a 100-point analytically screened goal "
+             "sweep and traces the prescreen record)",
     )
     p.add_argument("--out", metavar="DIR", default="telemetry-out",
                    help="export directory (default: telemetry-out)")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--intervals", type=int, default=6)
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "validate-analytic",
+        help="cross-validate the simulator against exact MVA",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="shorter measured horizon for smoke runs")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   metavar="FRAC",
+                   help="acceptance tolerance on relative RT error "
+                        "(default: 0.10)")
+    p.add_argument("--method", choices=("exact", "schweitzer", "auto"),
+                   default="exact",
+                   help="MVA solver to validate against "
+                        "(default: exact)")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the comparison report as JSON")
+    _add_jobs_flag(p)
+    p.set_defaults(func=_cmd_validate_analytic)
 
     return parser
 

@@ -290,6 +290,17 @@ class Cluster:
         disk_level = AccessLevel.DISK
         faults = self.faults
         telemetry = self.telemetry
+        # Bound methods of the per-run-constant resources, hoisted so
+        # the loop pays neither the attribute walk nor the bound-method
+        # allocation per call (several calls per miss).  Per-miss
+        # remote/home resources vary by page and stay inline.
+        cpu_acquire = cpu_res.acquire_fast
+        cpu_release = cpu_res.release_fast
+        cpu_occupy = cpu_res.occupy
+        net_acquire = medium.acquire_fast
+        net_release = medium.release_fast
+        net_occupy = medium.occupy
+        on_access = None if telemetry is None else telemetry.on_access
 
         for page_id in page_ids:
             start = env._now
@@ -298,23 +309,21 @@ class Cluster:
                 if delay > 0.0:
                     yield timeout(env, delay)
             # Buffer-lookup CPU charge, paid on every access.
-            if cpu_res.acquire_fast():
+            if cpu_acquire():
                 try:
                     yield timeout(env, lookup_ms)
                 finally:
-                    cpu_res.release_fast()
+                    cpu_release()
             else:
-                yield from cpu_res.occupy(lookup_ms)
+                yield from cpu_occupy(lookup_ms)
             hit, dropped = probe(page_id, class_id)
             if dropped:
                 unregister_many(dropped, node_id)
             if hit:
                 elapsed = env._now - start
                 observe(local_level, elapsed)
-                if telemetry is not None:
-                    telemetry.on_access(
-                        node_id, class_id, local_level, elapsed
-                    )
+                if on_access is not None:
+                    on_access(node_id, class_id, local_level, elapsed)
                 continue
 
             # Miss: try a remote cached copy, else the home disk.
@@ -324,13 +333,13 @@ class Cluster:
                 wire = req_wire
                 if faults is not None and faults.extra_ms > 0.0:
                     wire += faults.extra_ms
-                if medium.acquire_fast():
+                if net_acquire():
                     try:
                         yield timeout(env, wire)
                     finally:
-                        medium.release_fast()
+                        net_release()
                 else:
-                    yield from medium.occupy(wire)
+                    yield from net_occupy(wire)
                 record(page_request, req_bytes)
                 remote = nodes[remote_id]
                 remote_res = remote.cpu.resource
@@ -348,21 +357,21 @@ class Cluster:
                     wire = ship_wire
                     if faults is not None and faults.extra_ms > 0.0:
                         wire += faults.extra_ms
-                    if medium.acquire_fast():
+                    if net_acquire():
                         try:
                             yield timeout(env, wire)
                         finally:
-                            medium.release_fast()
+                            net_release()
                     else:
-                        yield from medium.occupy(wire)
+                        yield from net_occupy(wire)
                     record(page_ship, ship_bytes)
-                    if cpu_res.acquire_fast():
+                    if cpu_acquire():
                         try:
                             yield timeout(env, handling_ms)
                         finally:
-                            cpu_res.release_fast()
+                            cpu_release()
                     else:
-                        yield from cpu_res.occupy(handling_ms)
+                        yield from cpu_occupy(handling_ms)
                     level = remote_level
             if level is disk_level:
                 home_id = database_home(page_id)
@@ -388,24 +397,24 @@ class Cluster:
                         yield from disk_res.occupy(disk_service)
                     home_disk.reads += 1
                     home_disk.service_stats.add(disk_service)
-                    if cpu_res.acquire_fast():
+                    if cpu_acquire():
                         try:
                             yield timeout(env, handling_ms)
                         finally:
-                            cpu_res.release_fast()
+                            cpu_release()
                     else:
-                        yield from cpu_res.occupy(handling_ms)
+                        yield from cpu_occupy(handling_ms)
                 else:
                     wire = req_wire
                     if faults is not None and faults.extra_ms > 0.0:
                         wire += faults.extra_ms
-                    if medium.acquire_fast():
+                    if net_acquire():
                         try:
                             yield timeout(env, wire)
                         finally:
-                            medium.release_fast()
+                            net_release()
                     else:
-                        yield from medium.occupy(wire)
+                        yield from net_occupy(wire)
                     record(page_request, req_bytes)
                     home_cpu = home.cpu
                     home_res = home_cpu.resource
@@ -429,21 +438,21 @@ class Cluster:
                     wire = ship_wire
                     if faults is not None and faults.extra_ms > 0.0:
                         wire += faults.extra_ms
-                    if medium.acquire_fast():
+                    if net_acquire():
                         try:
                             yield timeout(env, wire)
                         finally:
-                            medium.release_fast()
+                            net_release()
                     else:
-                        yield from medium.occupy(wire)
+                        yield from net_occupy(wire)
                     record(page_ship, ship_bytes)
-                    if cpu_res.acquire_fast():
+                    if cpu_acquire():
                         try:
                             yield timeout(env, handling_ms)
                         finally:
-                            cpu_res.release_fast()
+                            cpu_release()
                     else:
-                        yield from cpu_res.occupy(handling_ms)
+                        yield from cpu_occupy(handling_ms)
 
             dropped = admit(page_id, class_id)
             if dropped:
@@ -452,8 +461,8 @@ class Cluster:
                 register(page_id, node_id)
             elapsed = env._now - start
             observe(level, elapsed)
-            if telemetry is not None:
-                telemetry.on_access(node_id, class_id, level, elapsed)
+            if on_access is not None:
+                on_access(node_id, class_id, level, elapsed)
 
     # -- allocation plumbing --------------------------------------------
 

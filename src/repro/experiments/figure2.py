@@ -216,6 +216,9 @@ class GoalSweepData:
     goal_range: Optional[GoalRange]
     runner: str
     points: List[GoalPoint] = field(default_factory=list)
+    #: The analytic pre-screening report when ``prescreen`` was used
+    #: (a :class:`repro.analytic.frontier.PrescreenReport`), else None.
+    prescreen: Optional[object] = None
 
     def to_text(self) -> str:
         """Render the sweep as an aligned text table."""
@@ -316,6 +319,7 @@ def run_goal_sweep(
     jobs: int = 1,
     runner: str = "auto",
     telemetry: Optional[str] = None,
+    prescreen: Optional[int] = None,
 ) -> GoalSweepData:
     """Sweep the base experiment over fixed response time goals.
 
@@ -333,6 +337,17 @@ def run_goal_sweep(
     ``<dir>/rep<r>-goal<g>/`` and a merged trace at the top level; the
     point directories are named by replicate and goal index, so fork
     and cold runners produce identical artifact trees.
+
+    ``prescreen`` arms the analytic fast path
+    (:func:`repro.analytic.frontier.prescreen_goals`): the goal grid is
+    densified to ``prescreen`` points (when ``goals`` is not given),
+    classified analytically in milliseconds, and only the feasibility
+    frontier — regime boundaries, endpoints, binding-regime
+    representatives — is simulated.  Each sweep point is an independent
+    simulation keyed by (config, seed, goal), so the simulated subset
+    is bit-identical to the same points of an unscreened sweep.  The
+    report lands on :attr:`GoalSweepData.prescreen` and, with
+    ``telemetry``, as a ``prescreen`` record in the merged trace.
     """
     from repro.experiments import forkserver
     from repro.experiments.parallel import derive_replicate_seed, run_tasks
@@ -347,8 +362,23 @@ def run_goal_sweep(
             workload, class_id=1, config=config, seed=seed, jobs=jobs
         )
     if goals is None:
-        goals = sweep_goals(goal_range, points)
+        goals = sweep_goals(
+            goal_range, prescreen if prescreen else points
+        )
     goals = list(goals)
+    prescreen_report = None
+    if prescreen:
+        from repro.analytic.frontier import prescreen_goals
+
+        prescreen_report = prescreen_goals(
+            config,
+            default_workload(
+                config, skew=skew,
+                arrival_rate_per_node=arrival_rate_per_node,
+            ),
+            goals,
+        )
+        goals = prescreen_report.selected_goals()
     seeds = [derive_replicate_seed(seed, i) for i in range(replicates)]
 
     deltas = [
@@ -356,7 +386,9 @@ def run_goal_sweep(
     ]
     warm_keys = [s for s in seeds for _ in goals]
     mode = forkserver.plan_sweep(runner, warm_keys, deltas * len(seeds))
-    data = GoalSweepData(goal_range=goal_range, runner=mode)
+    data = GoalSweepData(
+        goal_range=goal_range, runner=mode, prescreen=prescreen_report
+    )
 
     def point_dir(rep: int, goal_index: int) -> Optional[str]:
         if telemetry is None:
@@ -406,6 +438,15 @@ def run_goal_sweep(
                 for g in range(len(goals))
             ],
         )
+        if prescreen_report is not None:
+            from repro.telemetry.exporters import append_trace_records
+            from repro.telemetry.trace import TraceLog
+
+            log = TraceLog()
+            log.emit(
+                "prescreen", 0.0, **prescreen_report.trace_fields()
+            )
+            append_trace_records(telemetry, log.records)
     return data
 
 

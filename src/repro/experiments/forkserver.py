@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
+    Dict,
     List,
     Mapping,
     Optional,
@@ -229,6 +230,33 @@ def apply_delta(
 # -- planning ---------------------------------------------------------
 
 
+def _all_statically_invariant(
+    deltas: Sequence["WarmDelta"],
+) -> bool:
+    """Vet each *unique* ``configure`` callable once, not once per point.
+
+    Sweeps repeat a handful of delta shapes across replicates (the
+    figure-2 sweep passes ``deltas * len(seeds)``), so the planner
+    caches the vetting verdict per callable — the only field the
+    static check inspects — instead of re-evaluating the full list
+    point by point.  Deltas without a ``configure`` (the common case)
+    are invariant by construction and skip the cache entirely.
+    """
+    verdicts: Dict[int, bool] = {}
+    for delta in deltas:
+        fn = delta.configure
+        if fn is None:
+            continue
+        key = id(fn)
+        verdict = verdicts.get(key)
+        if verdict is None:
+            verdict = bool(getattr(fn, "__warmup_invariant__", False))
+            verdicts[key] = verdict
+        if not verdict:
+            return False
+    return True
+
+
 def plan_sweep(
     runner: str,
     warm_keys: Sequence,
@@ -251,9 +279,7 @@ def plan_sweep(
     reason = None
     if not supports_fork():
         reason = "platform has no os.fork"
-    elif deltas is not None and not all(
-        d.statically_invariant for d in deltas
-    ):
+    elif deltas is not None and not _all_statically_invariant(deltas):
         reason = (
             "a delta carries a configure callable not vetted with "
             "@warmup_invariant"

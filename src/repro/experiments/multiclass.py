@@ -286,6 +286,9 @@ class MulticlassGoalSweep:
     sharing: float
     runner: str
     points: List[GoalPairPoint] = field(default_factory=list)
+    #: The analytic pre-screening report when ``prescreen`` was used
+    #: (a :class:`repro.analytic.frontier.PairPrescreenReport`).
+    prescreen: Optional[object] = None
 
     def to_text(self) -> str:
         """Render the sweep as an aligned text table."""
@@ -360,6 +363,7 @@ def run_goal_sweep(
     jobs: int = 1,
     runner: str = "auto",
     telemetry: Optional[str] = None,
+    prescreen: Optional[int] = None,
 ) -> MulticlassGoalSweep:
     """Sweep the §7.4 system over (goal k1, goal k2) pairs.
 
@@ -368,6 +372,15 @@ def run_goal_sweep(
     and forks the pairs from the warmed image (``runner='cold'`` and
     non-fork platforms run independent per-pair simulations instead —
     bit-identical results either way).
+
+    ``prescreen`` arms the analytic fast path: the bounding box of
+    ``goal_pairs`` is densified to a ~sqrt(prescreen)-per-side grid,
+    classified by :func:`repro.analytic.frontier.prescreen_goal_pairs`,
+    and only the feasibility frontier of the goal plane is simulated
+    (grid pairs violating the §7.4 ordering ``goal1 < goal2`` are
+    screened but never simulated).  Each pair is an independent
+    simulation keyed by (config, seed, goals), so the simulated subset
+    is bit-identical to an unscreened sweep over the same pairs.
     """
     from repro.experiments import forkserver
 
@@ -376,6 +389,34 @@ def run_goal_sweep(
     for goal1_ms, goal2_ms in goal_pairs:
         if goal1_ms >= goal2_ms:
             raise ValueError("the paper requires goal(k1) < goal(k2)")
+    prescreen_report = None
+    if prescreen:
+        from repro.analytic.frontier import pair_grid, prescreen_goal_pairs
+
+        goals1 = [pair[0] for pair in goal_pairs]
+        goals2 = [pair[1] for pair in goal_pairs]
+        grid = pair_grid(
+            (min(goals1), max(goals1)), (min(goals2), max(goals2)),
+            prescreen,
+        )
+        prescreen_report = prescreen_goal_pairs(
+            config,
+            multiclass_workload(
+                config, goal_pairs[0][0], goal_pairs[0][1],
+                sharing=sharing, skew=skew,
+            ),
+            grid,
+        )
+        goal_pairs = [
+            (goal1_ms, goal2_ms)
+            for goal1_ms, goal2_ms in prescreen_report.selected_pairs()
+            if goal1_ms < goal2_ms
+        ]
+        if not goal_pairs:
+            raise ValueError(
+                "prescreening selected no simulatable goal pairs "
+                "(all frontier pairs violate goal(k1) < goal(k2))"
+            )
     deltas = [
         forkserver.WarmDelta.for_goals({1: goal1_ms, 2: goal2_ms})
         for goal1_ms, goal2_ms in goal_pairs
@@ -383,7 +424,9 @@ def run_goal_sweep(
     mode = forkserver.plan_sweep(
         runner, warm_keys=[seed] * len(goal_pairs), deltas=deltas
     )
-    sweep = MulticlassGoalSweep(sharing=sharing, runner=mode)
+    sweep = MulticlassGoalSweep(
+        sharing=sharing, runner=mode, prescreen=prescreen_report
+    )
 
     def point_dir(pair_index: int) -> Optional[str]:
         if telemetry is None:
@@ -428,6 +471,15 @@ def run_goal_sweep(
                 for g in range(len(goal_pairs))
             ],
         )
+        if prescreen_report is not None:
+            from repro.telemetry.exporters import append_trace_records
+            from repro.telemetry.trace import TraceLog
+
+            log = TraceLog()
+            log.emit(
+                "prescreen", 0.0, **prescreen_report.trace_fields()
+            )
+            append_trace_records(telemetry, log.records)
     return sweep
 
 

@@ -224,3 +224,22 @@ def merge_point_dirs(outdir: str,
         json.dump(manifest, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return {"trace": merged, "manifest": manifest_path}
+
+
+def append_trace_records(outdir: str, records: Iterable[Dict]) -> str:
+    """Append sweep-level records to the merged ``trace.jsonl``.
+
+    Sweep-scoped events — e.g. the analytic ``prescreen`` record — have
+    no point simulation to ride, so they are appended to the merged
+    trace after :func:`merge_point_dirs`, labelled ``point: "sweep"``
+    unless the record carries its own label.  Creates the file when the
+    sweep ran without per-point telemetry.
+    """
+    os.makedirs(outdir, exist_ok=True)
+    merged = os.path.join(outdir, TRACE_FILE)
+    with open(merged, "a", encoding="utf-8") as out:
+        for record in records:
+            record = dict(record)
+            record.setdefault("point", "sweep")
+            out.write(json.dumps(_jsonable(record), sort_keys=True) + "\n")
+    return merged

@@ -9,12 +9,42 @@ def test_parser_knows_all_commands():
     parser = build_parser()
     commands = {"table1", "figure2", "table2", "multiclass",
                 "overhead", "resilience", "scaling", "all", "demo",
-                "chaos"}
+                "chaos", "validate-analytic"}
     for command in commands:
         args = parser.parse_args(
             [command] + (["--quick"] if command == "all" else [])
         )
         assert callable(args.func)
+
+
+def test_validate_analytic_defaults():
+    args = build_parser().parse_args(["validate-analytic"])
+    assert args.quick is False
+    assert args.seed == 0
+    assert args.tolerance == 0.10
+    assert args.method == "exact"
+    assert args.json is None
+    assert args.jobs == 1
+
+
+def test_prescreen_flag_on_goal_sweeps():
+    figure2 = build_parser().parse_args(
+        ["figure2", "--prescreen", "1000"]
+    )
+    assert figure2.prescreen == 1000
+    multiclass = build_parser().parse_args(
+        ["multiclass", "--prescreen", "100"]
+    )
+    assert multiclass.prescreen == 100
+    # Off by default: an un-flagged run never consults the solver.
+    assert build_parser().parse_args(["figure2"]).prescreen == 0
+
+
+def test_trace_knows_prescreen_experiment():
+    args = build_parser().parse_args(["trace", "prescreen"])
+    assert args.experiment == "prescreen"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace", "nonsense"])
 
 
 def test_missing_command_errors():

@@ -81,6 +81,66 @@ def test_plan_sweep_static_guard_rejects_unvetted_configure():
         plan_sweep("fork", [1, 1], deltas=[unvetted] * 2)
 
 
+class _ProbeConfigure:
+    """Configure callable that counts vetting-flag lookups."""
+
+    def __init__(self, invariant):
+        self.lookups = 0
+        self.invariant = invariant
+
+    def __call__(self, sim):
+        return None
+
+    @property
+    def __warmup_invariant__(self):
+        self.lookups += 1
+        return self.invariant
+
+
+@requires_fork
+def test_plan_sweep_vets_each_unique_configure_once():
+    # Sweeps repeat one delta shape across replicates; the planner
+    # must evaluate the vetting flag once per callable, not per point.
+    vetted = _ProbeConfigure(True)
+    assert plan_sweep(
+        "auto", [1] * 40, deltas=[WarmDelta(configure=vetted)] * 40
+    ) == "fork"
+    assert vetted.lookups == 1
+
+    unvetted = _ProbeConfigure(False)
+    assert plan_sweep(
+        "auto", [1] * 40, deltas=[WarmDelta(configure=unvetted)] * 40
+    ) == "cold"
+    assert unvetted.lookups == 1
+
+
+@requires_fork
+def test_plan_sweep_vet_cache_is_per_callable():
+    # One unvetted configure among many vetted ones still downgrades:
+    # verdicts never leak across distinct callables.
+    vetted = warmup_invariant(lambda sim: None)
+    mixed = [WarmDelta(configure=vetted)] * 3 + [
+        WarmDelta(configure=lambda sim: None)
+    ]
+    assert plan_sweep("auto", [1] * 4, deltas=mixed) == "cold"
+
+
+@requires_fork
+def test_vet_cache_does_not_weaken_runtime_clock_guard(fast_config):
+    # A vetted-but-lying configure that advances the clock passes the
+    # (cached) static check yet must still trip the fingerprint guard.
+    @warmup_invariant
+    def bad(sim):
+        sim.env.run(until=sim.env.now + 1.0)
+
+    deltas = [WarmDelta(configure=bad)] * 2
+    assert plan_sweep("auto", [1, 1], deltas=deltas) == "fork"
+    sim = _build_sim(fast_config)
+    sim.warm()
+    with pytest.raises(WarmupInvarianceError):
+        apply_delta(sim, deltas[0])
+
+
 def test_plan_sweep_degrades_without_fork(monkeypatch):
     monkeypatch.setattr(forkserver, "supports_fork", lambda: False)
     assert forkserver.plan_sweep("auto", warm_keys=[1, 1]) == "cold"
