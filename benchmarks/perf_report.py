@@ -17,10 +17,12 @@ workloads measured on the pre-optimization substrate (commit
 produced the committed report — they are the reference the recorded
 ``speedup`` figures are relative to.  The ``SCALING_BASELINE``
 constants follow the same convention against the pre-change tree
-(commit ``93909c8``), measured interleaved with the optimized tree
-(best of 6 alternating subprocess runs) so machine noise hits both
-sides equally.  Re-run this script after kernel changes and compare
-against your own machine's committed numbers, not across machines.
+(commit ``37b700f``, before the vectorized arrival front-end and the
+fetch-chain access path), measured interleaved with the optimized
+tree — alternating subprocess runs, best over ~20 alternations spread
+across several minutes — so host-level noise windows hit both sides
+equally.  Re-run this script after kernel changes and compare against
+your own machine's committed numbers, not across machines.
 """
 
 from __future__ import annotations
@@ -78,23 +80,37 @@ ACCESS_COUNT = 2_000
 #: accompanied the columnar-hot-state change; rows the old tree was
 #: never measured on are simply absent.
 SCALING_BASELINE = {
-    "hot_access_8_nodes": 0.4085,
-    "hot_access_16_nodes": 0.3941,
-    "hot_access_32_nodes": 0.3882,
-    "hot_access_64_nodes": 0.5384,
-    "hot_access_128_nodes": 0.6198,
-    "hot_access_256_nodes": 1.1163,
-    "mixed_access_32n_2000_pages": 0.2838,
-    "mixed_access_32n_8000_pages": 0.4071,
-    "mixed_access_32n_32000_pages": 0.8571,
-    "mixed_access_32n_200000_pages": 0.9303,
-    "mixed_access_32n_1000000_pages": 0.7674,
-    "working_set_32n_8000_pages": 0.4637,
-    "working_set_32n_200000_pages": 0.4389,
-    "working_set_32n_1000000_pages": 0.4356,
-    "heat_memory_200k_pages": 341_850_185,
-    "heat_memory_1m_pages": 1_677_821_985,
+    "hot_access_8_nodes": 0.2273,
+    "hot_access_16_nodes": 0.2382,
+    "hot_access_32_nodes": 0.2476,
+    "hot_access_64_nodes": 0.3149,
+    "hot_access_128_nodes": 0.3915,
+    "hot_access_256_nodes": 0.4632,
+    "hot_access_512_nodes": 0.5636,
+    "mixed_access_32n_2000_pages": 0.1973,
+    "mixed_access_32n_8000_pages": 0.2533,
+    "mixed_access_32n_32000_pages": 0.5592,
+    "mixed_access_32n_200000_pages": 0.4804,
+    "mixed_access_32n_1000000_pages": 0.4466,
+    "working_set_32n_8000_pages": 0.1854,
+    "working_set_32n_200000_pages": 0.3057,
+    "working_set_32n_1000000_pages": 0.2778,
+    "heat_memory_200k_pages": 47_915_868,
+    "heat_memory_1m_pages": 208_691_088,
 }
+
+#: CI regression gate: a quick-subset row may be at most this much
+#: slower (relative us_per_access) than the committed scaling report
+#: before ``--check-regression`` fails the run — after normalizing by
+#: the median measured/committed ratio across the compared rows, so a
+#: uniformly slower CI machine (or a noisy host window) cancels out
+#: and only *shape* changes fail: one workload regressing while the
+#: rest hold is exactly what the gate exists to catch.  25% because
+#: the residual per-row spread after normalization measures ±15% on a
+#: busy host even with no code change (the shortest rows run ~0.15 s);
+#: an algorithmic scaling regression — the 2.7× node-count cliff this
+#: gate was built against — clears 25% by an order of magnitude.
+REGRESSION_TOLERANCE = 0.25
 
 HOT_ACCESS_COUNT = 30_000   # hit-dominated accesses per hot bench run
 MIXED_ACCESS_COUNT = 20_000  # accesses per database-size bench run
@@ -102,7 +118,7 @@ MIXED_ACCESS_COUNT = 20_000  # accesses per database-size bench run
 #: Node counts of the hot-access rows and database sizes of the mixed
 #: and fixed-working-set rows; the ``--quick`` CI subset keeps one
 #: small and one large point per family.
-HOT_NODE_COUNTS = (8, 16, 32, 64, 128, 256)
+HOT_NODE_COUNTS = (8, 16, 32, 64, 128, 256, 512)
 MIXED_PAGE_COUNTS = (2_000, 8_000, 32_000, 200_000, 1_000_000)
 WORKING_SET_TABLES = (8_000, 200_000, 1_000_000)
 WORKING_SET_PAGES = 8_000   # pages actually touched by the sweep rows
@@ -458,6 +474,29 @@ def build_scaling_report(repeats: int, quick: bool = False) -> dict:
             ),
         }
 
+    # Node-count flatness: per-access cost at 256 (and 512) nodes
+    # against 8.  Not a pure data-structure probe like the working-set
+    # ratio — growing the cluster at a fixed database turns the
+    # hit-dominated 8-node profile into an all-miss, 4-hop-fetch
+    # profile, so events per access rise structurally — but that is
+    # exactly why it is the scaling headline: it bounds how much the
+    # whole substrate (front-end, fetch chains, event recycling) lets
+    # per-access cost grow with cluster size.
+    small = benchmarks.get("hot_access_8_nodes")
+    large = benchmarks.get("hot_access_256_nodes")
+    if small and large:
+        entry = {
+            "node_flatness": round(
+                large["us_per_access"] / small["us_per_access"], 3
+            ),
+        }
+        huge = benchmarks.get("hot_access_512_nodes")
+        if huge:
+            entry["ratio_512n_vs_8n"] = round(
+                huge["us_per_access"] / small["us_per_access"], 3
+            )
+        benchmarks["hot_access_node_flatness"] = entry
+
     for pages in heat_pages:
         label = "200k" if pages == 200_000 else "1m"
         name = f"heat_memory_{label}_pages"
@@ -476,6 +515,53 @@ def build_scaling_report(repeats: int, quick: bool = False) -> dict:
         "quick": quick,
         "benchmarks": benchmarks,
     }
+
+
+def check_scaling_regression(
+    report: dict,
+    committed: dict,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> list:
+    """Compare a scaling report against the committed one.
+
+    Returns ``(name, committed_us, measured_us)`` triples for every
+    row whose ``us_per_access`` regressed by more than ``tolerance``
+    relative to the ``committed`` report (a parsed
+    ``BENCH_scaling.json``).  Rows absent from either side are
+    skipped, so the quick CI subset gates only the rows it actually
+    ran.
+
+    The comparison is *shape-based*: with three or more comparable
+    rows, every measured value is first normalized by the median
+    measured/committed ratio across all rows.  A uniformly slower (or
+    faster) machine shifts every row by the same factor and cancels
+    out of the normalized comparison, while a single workload that
+    regressed algorithmically barely moves the median and is caught —
+    the gate tests the scaling *surface*, not the machine.  With fewer
+    than three comparable rows there is no meaningful median, so the
+    comparison falls back to absolute values.
+    """
+    committed = committed["benchmarks"]
+    rows = []
+    for name, entry in report["benchmarks"].items():
+        measured = entry.get("us_per_access")
+        reference = committed.get(name, {}).get("us_per_access")
+        if measured is None or reference is None:
+            continue
+        rows.append((name, reference, measured))
+    calibration = 1.0
+    if len(rows) >= 3:
+        ratios = sorted(m / r for _, r, m in rows)
+        mid = len(ratios) // 2
+        calibration = (
+            ratios[mid] if len(ratios) % 2
+            else (ratios[mid - 1] + ratios[mid]) / 2.0
+        )
+    failures = []
+    for name, reference, measured in rows:
+        if measured > reference * calibration * (1.0 + tolerance):
+            failures.append((name, reference, measured))
+    return failures
 
 
 def bench_goal_sweep(points: int, runner: str) -> float:
@@ -889,6 +975,13 @@ def main(argv=None) -> None:
              "large point per row family) instead of the full sweep",
     )
     parser.add_argument(
+        "--check-regression", action="store_true",
+        help="with --scaling: after measuring, compare us_per_access "
+             "against the committed BENCH_scaling.json and exit "
+             f"non-zero if any row regressed more than "
+             f"{REGRESSION_TOLERANCE:.0%} (the CI scaling gate)",
+    )
+    parser.add_argument(
         "--telemetry-overhead", action="store_true",
         help="measure the telemetry layer's cost, off vs. attached "
              f"(writes {TELEMETRY_REPORT_PATH.name})",
@@ -914,6 +1007,7 @@ def main(argv=None) -> None:
              f"{ANALYTIC_REPORT_PATH.name} with --analytic)",
     )
     args = parser.parse_args(argv)
+    committed = None
     if args.analytic:
         report = build_analytic_report()
         out = args.out if args.out is not None else ANALYTIC_REPORT_PATH
@@ -930,6 +1024,12 @@ def main(argv=None) -> None:
         out = args.out if args.out is not None else SWEEP_REPORT_PATH
     elif args.scaling:
         repeats = args.repeats if args.repeats != 20 else 6
+        # Read the committed reference before measuring: the default
+        # --out overwrites the very file the gate compares against.
+        committed = (
+            json.loads(SCALING_REPORT_PATH.read_text())
+            if args.check_regression else None
+        )
         report = build_scaling_report(repeats, quick=args.quick)
         out = args.out if args.out is not None else SCALING_REPORT_PATH
     else:
@@ -938,6 +1038,17 @@ def main(argv=None) -> None:
     out.write_text(json.dumps(report, indent=2) + "\n")
     emit(json.dumps(report, indent=2))
     emit(f"\nreport written to {out}")
+    if args.scaling and committed is not None:
+        failures = check_scaling_regression(report, committed)
+        if failures:
+            emit("\nscaling regression gate FAILED "
+                 f"(tolerance {REGRESSION_TOLERANCE:.0%}):")
+            for name, reference, measured in failures:
+                emit(f"  {name}: {reference} -> {measured} us/access "
+                     f"(+{measured / reference - 1.0:.1%})")
+            sys.exit(1)
+        emit("scaling regression gate passed "
+             f"(tolerance {REGRESSION_TOLERANCE:.0%})")
 
 
 if __name__ == "__main__":

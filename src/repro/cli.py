@@ -326,6 +326,18 @@ def _cmd_trace(args) -> None:
     print(f"telemetry exported to {out}")
     for kind in sorted(kinds):
         print(f"  {kind}: {kinds[kind]}")
+    pool_high = None
+    for path in artifacts:
+        if os.path.basename(path) != "metrics.json":
+            continue
+        with open(path, "r", encoding="utf-8") as fh:
+            for entry in json.load(fh).get("metrics", ()):
+                if entry.get("name") == "repro_event_pool_high_water":
+                    value = int(entry["value"])
+                    if pool_high is None or value > pool_high:
+                        pool_high = value
+    if pool_high is not None:
+        print(f"engine event pool high water: {pool_high}")
     print(f"artifacts ({len(artifacts)} files):")
     for path in artifacts:
         print(f"  {path}")

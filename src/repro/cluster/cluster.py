@@ -22,8 +22,425 @@ from repro.cluster.directory import DirectoryInvariantError, PageDirectory
 from repro.cluster.messages import MessageKind, message_size
 from repro.cluster.network import Network
 from repro.cluster.node import Node
-from repro.sim.engine import Environment, Timeout
+from repro.sim.engine import NORMAL, Environment, Event, pooled_timeout
+from repro.sim.resources import Request
 from repro.sim.rng import RandomStreams
+
+import heapq
+
+
+class _FetchHop(Event):
+    """Heap-resident hop event of a :class:`_FetchChain`.
+
+    Its ``_fast_proc`` slot holds the chain, so the kernel's dispatch
+    loop calls ``chain._resume(hop)`` — advancing the chain's state
+    machine — instead of resuming a generator.
+    """
+
+    __slots__ = ()
+
+
+class _FetchChain(Event):
+    """One whole page access (§3, §6) as a self-advancing hold chain.
+
+    :meth:`Cluster.access_run` yields one of these per page.  The chain
+    walks the access's hold sequence — the buffer-lookup CPU charge,
+    then on a miss the fetch hops (request wire, remote CPU, ship wire,
+    page handling; or the disk variants) — by re-pushing its single
+    :class:`_FetchHop` event for each hold and performing the
+    release / bookkeeping / acquire transitions inside :meth:`_resume`.
+    Buffer probe/admit, directory registration, cost observation, and
+    telemetry all run inside the state machine, so the owning generator
+    is resumed exactly once per page, when the chain finishes (it is
+    itself an :class:`Event`, fused via ``_fast_proc`` like any other
+    yield target).
+
+    Event-for-event parity with the reference ``access_page`` path is
+    the invariant (the batch parity suite pins it): every hold pushes
+    one heap entry with the same time and sequence number the
+    ``occupy``/``acquire_fast`` code would, uncontended grants consume
+    no event, and contended holds fall back to a real
+    :class:`~repro.sim.resources.Request` so FIFO order and wait
+    accounting are untouched.  All chained resources have capacity 1
+    (node CPUs, disk arms, the network medium), which makes the inline
+    fast-grant condition identical to ``occupy``'s.
+
+    A chain is bound to one node and recycled through the node's pool
+    in the run-context cache (:meth:`Cluster._build_run_ctx`), so its
+    fault/telemetry bindings share the cache's invalidation.
+    """
+
+    __slots__ = (
+        "_hop", "_hop_cb", "_own_cb", "_state", "_res", "_req",
+        "_service", "_page", "_class", "_t0", "_node_id", "_cpu_res",
+        "_lookup_ms", "_handling_ms", "_remote", "_home", "_home_local",
+        "_disk_service", "_level", "_faults", "_nodes", "_net",
+        "_bytes_by_kind", "_messages_by_kind", "_home_fn",
+        "_remote_holder", "_probe", "_admit", "_contains", "_unreg",
+        "_register", "_observe", "_on_access", "_req_wire", "_ship_wire",
+        "_req_bytes", "_ship_bytes", "_remote_service",
+        "_home_msg_service", "_disk_read_ms", "_page_request",
+        "_page_ship", "_local_level", "_remote_level", "_disk_level",
+    )
+
+    def __init__(self, cluster: "Cluster", node_id: int):
+        env = cluster.env
+        self.env = env
+        self.callbacks = None  # armed by _access
+        self._value = None
+        self._ok = None
+        self._defused = False
+        self._fast_proc = None
+        hop = _FetchHop.__new__(_FetchHop)
+        hop.env = env
+        hop.callbacks = None
+        hop._value = None
+        hop._ok = True
+        hop._defused = False
+        hop._fast_proc = None
+        self._hop = hop
+        self._hop_cb: list = []
+        self._own_cb: list = []
+        self._req = None
+        self._res = None
+        node = cluster.nodes[node_id]
+        buffers = node.buffers
+        directory = cluster.directory
+        telemetry = cluster._telemetry
+        self._node_id = node_id
+        self._cpu_res = node.cpu.resource
+        self._probe = buffers.probe
+        self._admit = buffers.admit
+        self._contains = buffers.contains
+        self._unreg = directory.unregister_many
+        self._register = directory.register
+        self._remote_holder = directory.remote_holder
+        self._observe = cluster.costs.observe
+        self._on_access = (
+            None if telemetry is None else telemetry.on_access
+        )
+        self._faults = cluster.faults
+        self._nodes = cluster.nodes
+        self._net = cluster.network.medium
+        accounting = cluster.network.accounting
+        self._bytes_by_kind = accounting.bytes_by_kind
+        self._messages_by_kind = accounting.messages_by_kind
+        self._home_fn = cluster.database.home
+        self._req_wire = cluster._req_wire_ms
+        self._ship_wire = cluster._ship_wire_ms
+        self._req_bytes = cluster._req_bytes
+        self._ship_bytes = cluster._ship_bytes
+        # Per-hop CPU services; every node runs the same CPU (the
+        # cluster is built from one SystemConfig), so the divisions by
+        # _mips_ms fold into constants.
+        mips_ms = node.cpu._mips_ms
+        remote_instr = cluster._instr_message + cluster._instr_lookup
+        self._lookup_ms = cluster._instr_lookup / mips_ms
+        self._handling_ms = cluster._instr_page_handling / mips_ms
+        self._remote_service = remote_instr / mips_ms
+        self._home_msg_service = cluster._instr_message / mips_ms
+        self._disk_read_ms = cluster._disk_read_ms
+        self._page_request = MessageKind.PAGE_REQUEST
+        self._page_ship = MessageKind.PAGE_SHIP
+        self._local_level = AccessLevel.LOCAL
+        self._remote_level = AccessLevel.REMOTE
+        self._disk_level = AccessLevel.DISK
+
+    def _access(self, page_id: int, class_id: int,
+                start: float) -> "_FetchChain":
+        """Arm the chain for one page access; returns self (to yield).
+
+        ``start`` is the access's begin time for elapsed-time
+        accounting (it precedes any fault-restart delay the caller
+        already slept through).
+        """
+        self.callbacks = self._own_cb
+        self._ok = None
+        self._value = None
+        self._fast_proc = None
+        self._page = page_id
+        self._class = class_id
+        self._t0 = start
+        # First hold: the buffer-lookup CPU charge (state 0).
+        self._state = 0
+        res = self._cpu_res
+        if not res._waiting and not res.users:
+            env = self.env
+            if res._busy_since is None:
+                res._busy_since = env._now
+            res._grants += 1
+            res.users.append(res)
+            self._res = res
+            hop = self._hop
+            hop.callbacks = self._hop_cb
+            hop._fast_proc = self
+            seq = env._seq
+            env._seq = seq + 1
+            entry = (env._now + self._lookup_ms, NORMAL, seq, hop)
+            calendar = env._calendar
+            if calendar is None:
+                queue = env._queue
+                heapq.heappush(queue, entry)
+                if env._auto_at and len(queue) >= env._auto_at:
+                    env._activate_calendar()
+            else:
+                calendar.push(entry)
+        else:
+            self._res = res
+            self._service = self._lookup_ms
+            req = Request(res)
+            req._fast_proc = self
+            self._req = req
+        return self
+
+    # -- state machine ---------------------------------------------
+
+    def _record(self, kind, nbytes: int) -> None:
+        """Inline of TrafficAccounting.record on pre-bound dicts."""
+        bk = self._bytes_by_kind
+        mk = self._messages_by_kind
+        try:
+            bk[kind] += nbytes
+            mk[kind] += 1
+        except KeyError:
+            bk[kind] = bk.get(kind, 0) + nbytes
+            mk[kind] = mk.get(kind, 0) + 1
+
+    def _resume(self, event: Event) -> None:
+        # Called by the dispatch loops, either with our hop event (the
+        # current hold's service interval expired) or with a granted
+        # Request (our turn on a contended resource arrived).
+        if event is self._req:
+            self._push_hop(self._service)
+            return
+        env = self.env
+        res = self._res
+        if res is not None:
+            req = self._req
+            if req is None:
+                # Inline release, mirroring Resource.release_fast.
+                users = res.users
+                users.remove(res)
+                if not users and res._busy_since is not None:
+                    res._busy_time += env._now - res._busy_since
+                    res._busy_since = None
+                if res._waiting:
+                    res._grant_next()
+            else:
+                self._req = None
+                res.release(req)
+        state = self._state
+        # Each branch either finishes the access (and returns) or
+        # selects the next hold as (res, service, state) and falls
+        # through to the shared acquire-and-push tail below.
+        if state == 0:  # buffer lookup done: probe the local cache
+            page = self._page
+            class_id = self._class
+            hit, dropped = self._probe(page, class_id)
+            if dropped:
+                self._unreg(dropped, self._node_id)
+            if hit:
+                elapsed = env._now - self._t0
+                self._observe(self._local_level, elapsed)
+                on_access = self._on_access
+                if on_access is not None:
+                    on_access(
+                        self._node_id, class_id,
+                        self._local_level, elapsed,
+                    )
+                self._finish()
+                return
+            # Miss: try a remote cached copy, else the home disk.
+            remote_id = self._remote_holder(page, self._node_id)
+            if remote_id is not None:
+                self._remote = self._nodes[remote_id]
+                service = self._req_wire
+                faults = self._faults
+                if faults is not None and faults.extra_ms > 0.0:
+                    service += faults.extra_ms
+                res = self._net
+                state = 1
+            else:
+                hold = self._start_disk()
+                if hold is None:
+                    return  # restart delay pushed as a pure-delay hop
+                res, service, state = hold
+        elif state == 1:  # request wire done (remote branch)
+            self._record(self._page_request, self._req_bytes)
+            res = self._remote.cpu.resource
+            service = self._remote_service
+            state = 2
+        elif state == 2:  # remote CPU done: is the copy still there?
+            if self._remote.buffers.contains(self._page):
+                self._level = self._remote_level
+                service = self._ship_wire
+                faults = self._faults
+                if faults is not None and faults.extra_ms > 0.0:
+                    service += faults.extra_ms
+                res = self._net
+                state = 3
+            else:
+                # Evicted while our request was in flight.
+                hold = self._start_disk()
+                if hold is None:
+                    return
+                res, service, state = hold
+        elif state == 3:  # ship wire done (remote branch)
+            self._record(self._page_ship, self._ship_bytes)
+            res = self._cpu_res
+            service = self._handling_ms
+            state = 4
+        elif state == 4:  # page handling done: admit and account
+            page = self._page
+            class_id = self._class
+            dropped = self._admit(page, class_id)
+            if dropped:
+                self._unreg(dropped, self._node_id)
+            if self._contains(page):
+                self._register(page, self._node_id)
+            elapsed = env._now - self._t0
+            level = self._level
+            self._observe(level, elapsed)
+            on_access = self._on_access
+            if on_access is not None:
+                on_access(self._node_id, class_id, level, elapsed)
+            self._finish()
+            return
+        elif state == 8:  # disk read done
+            home_disk = self._home.disk
+            home_disk.reads += 1
+            home_disk.service_stats.add(self._disk_service)
+            if self._home_local:
+                res = self._cpu_res
+                service = self._handling_ms
+                state = 4
+            else:
+                service = self._ship_wire
+                faults = self._faults
+                if faults is not None and faults.extra_ms > 0.0:
+                    service += faults.extra_ms
+                res = self._net
+                state = 9
+        elif state == 9:  # ship wire done (disk branch)
+            self._record(self._page_ship, self._ship_bytes)
+            res = self._cpu_res
+            service = self._handling_ms
+            state = 4
+        elif state == 6:  # request wire done (disk branch)
+            self._record(self._page_request, self._req_bytes)
+            res = self._home.cpu.resource
+            service = self._home_msg_service
+            state = 7
+        elif state == 7:  # home CPU done
+            res = self._home.disk.resource
+            service = self._disk_service
+            state = 8
+        else:  # state == 5: home-node restart delay elapsed
+            hold = self._disk_go()
+            if hold is None:
+                return
+            res, service, state = hold
+
+        # Shared hold tail: acquire ``res`` (inline if idle, queued
+        # Request otherwise) and schedule the hold's end ``service``
+        # from the grant.
+        self._state = state
+        if not res._waiting and not res.users:
+            if res._busy_since is None:
+                res._busy_since = env._now
+            res._grants += 1
+            res.users.append(res)
+            self._res = res
+            hop = self._hop
+            hop.callbacks = self._hop_cb
+            hop._fast_proc = self
+            seq = env._seq
+            env._seq = seq + 1
+            entry = (env._now + service, NORMAL, seq, hop)
+            calendar = env._calendar
+            if calendar is None:
+                queue = env._queue
+                heapq.heappush(queue, entry)
+                if env._auto_at and len(queue) >= env._auto_at:
+                    env._activate_calendar()
+            else:
+                calendar.push(entry)
+        else:
+            self._res = res
+            self._service = service
+            req = Request(res)
+            req._fast_proc = self
+            self._req = req
+
+    def _start_disk(self):
+        """Enter the disk path; returns the next hold or None when a
+        restart delay was scheduled instead."""
+        self._level = self._disk_level
+        home_id = self._home_fn(self._page)
+        home = self._nodes[home_id]
+        self._home = home
+        local = home_id == self._node_id
+        self._home_local = local
+        faults = self._faults
+        if faults is not None and not local:
+            # The home disk is unreachable while its node restarts.
+            delay = faults.down_delay(home_id, self.env._now)
+            if delay > 0.0:
+                self._state = 5
+                self._res = None  # pure delay: nothing to release
+                self._push_hop(delay)
+                return None
+        return self._disk_go()
+
+    def _disk_go(self):
+        """Next hold of the disk path (read locally or request the
+        home node), as a (resource, service, state) tuple."""
+        home = self._home
+        disk = home.disk
+        service = self._disk_read_ms
+        if disk.fault_factor != 1.0:
+            service *= disk.fault_factor
+        self._disk_service = service
+        if self._home_local:
+            return disk.resource, service, 8
+        wire = self._req_wire
+        faults = self._faults
+        if faults is not None and faults.extra_ms > 0.0:
+            wire += faults.extra_ms
+        return self._net, wire, 6
+
+    def _push_hop(self, delay: float) -> None:
+        env = self.env
+        hop = self._hop
+        hop.callbacks = self._hop_cb
+        hop._fast_proc = self
+        seq = env._seq
+        env._seq = seq + 1
+        calendar = env._calendar
+        if calendar is None:
+            queue = env._queue
+            heapq.heappush(queue, (env._now + delay, NORMAL, seq, hop))
+            if env._auto_at and len(queue) >= env._auto_at:
+                env._activate_calendar()
+        else:
+            calendar.push((env._now + delay, NORMAL, seq, hop))
+
+    def _finish(self) -> None:
+        # Resume the owner, exactly as the dispatch loop would for a
+        # fired event (the chain never goes through _schedule, so no
+        # extra event or sequence number).
+        callbacks = self.callbacks
+        self.callbacks = None
+        self._ok = True
+        self._value = None
+        proc = self._fast_proc
+        if proc is not None:
+            self._fast_proc = None
+            proc._resume(self)
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+            del callbacks[:]
 
 
 class Cluster:
@@ -55,12 +472,17 @@ class Cluster:
                 MessageKind.HEAT_UPDATE
             )
         )
+        #: Per-node hoisted-binding tuples for :meth:`access_run`,
+        #: built lazily and invalidated whenever the fault layer or
+        #: telemetry pipeline changes (both are bound into the tuple).
+        self._run_ctx: Dict[int, tuple] = {}
         #: Fault state (:class:`repro.faults.FaultLayer`) or None; the
         #: access path pays one attribute check while this is None.
         self.faults = None
         #: Telemetry pipeline (:class:`repro.telemetry.Telemetry`) or
         #: None — same off-by-default, one-attribute-check discipline.
-        self.telemetry = None
+        #: (A property: assigning it invalidates the run contexts.)
+        self._telemetry = None
         #: Called as ``fn(node_id, now)`` after every node restart, so
         #: the feedback loop can invalidate state that predates the
         #: crash (see :meth:`restart_node`).
@@ -110,12 +532,23 @@ class Cluster:
         """Number of workstations in the cluster."""
         return self.config.num_nodes
 
+    @property
+    def telemetry(self):
+        """The attached telemetry pipeline, or None (off by default)."""
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, pipeline) -> None:
+        self._telemetry = pipeline
+        self._run_ctx.clear()
+
     # -- fault plumbing -------------------------------------------------
 
     def attach_faults(self, layer) -> None:
         """Install a :class:`repro.faults.FaultLayer` on the hot paths."""
         self.faults = layer
         self.network.faults = layer
+        self._run_ctx.clear()
 
     def add_restart_listener(
         self, listener: Callable[[int, float], None]
@@ -164,7 +597,8 @@ class Cluster:
                 if not users and res._busy_since is not None:
                     res._busy_time += env._now - res._busy_since
                     res._busy_since = None
-                res._grant_next()
+                if res._waiting:
+                    res._grant_next()
         else:
             yield from cpu.consume(self._instr_lookup)
         hit, dropped = node.buffers.probe(page_id, class_id)
@@ -239,230 +673,55 @@ class Cluster:
         Semantically a loop of :meth:`access_page` calls — the same
         events in the same order with the same accounting, which the
         batch-vs-loop parity test and the golden trace pin down — but
-        executed in ONE generator frame.  Where the reference path
-        suspends through ``access_page → _fetch → send_message →
-        transfer → occupy`` (every miss-path event resume walks that
-        whole chain, and each wrapper is a fresh generator object),
-        this loop hoists all attribute lookups, wire sizes, service
-        times, and telemetry/fault None-checks out of the per-page
-        body and holds uncontended resources through
-        :meth:`~repro.sim.resources.Resource.acquire_fast`, so each
-        resume crosses a single frame and a miss allocates no wrapper
-        generators.  Workload drivers (the open-system generator, the
-        trace replayer, the closed-loop clients) feed whole operations
+        executed through a pooled :class:`_FetchChain`: each page is
+        one ``yield`` of the node's chain, which performs the whole
+        lookup / probe / fetch / admit sequence as self-advancing
+        events and resumes this generator once per page.  Where the
+        reference path suspends through ``access_page → _fetch →
+        send_message → transfer → occupy`` (every miss-path event
+        resume walks that whole chain of generator frames), here no
+        generator frame is entered between a page's first and last
+        event.  Workload drivers (the open-system generator, the trace
+        replayer, the closed-loop clients) feed whole operations
         through here.
         """
         env = self.env
-        # Timeouts are constructed directly (class call) rather than
-        # through the env.timeout factory: one call fewer per event on
-        # a path that schedules several events per miss.
-        timeout = Timeout
-        nodes = self.nodes
-        node = nodes[node_id]
-        directory = self.directory
-        buffers = node.buffers
-        probe = buffers.probe
-        admit = buffers.admit
-        contains = buffers.contains
-        unregister_many = directory.unregister_many
-        register = directory.register
-        remote_holder = directory.remote_holder
-        observe = self.costs.observe
-        database_home = self.database.home
-        network = self.network
-        medium = network.medium
-        record = network.accounting.record
-        cpu = node.cpu
-        cpu_res = cpu.resource
-        lookup_ms = self._instr_lookup / cpu._mips_ms
-        handling_ms = self._instr_page_handling / cpu._mips_ms
-        remote_instr = self._instr_message + self._instr_lookup
-        instr_message = self._instr_message
-        req_wire = self._req_wire_ms
-        ship_wire = self._ship_wire_ms
-        req_bytes = self._req_bytes
-        ship_bytes = self._ship_bytes
-        disk_read_ms = self._disk_read_ms
-        page_request = MessageKind.PAGE_REQUEST
-        page_ship = MessageKind.PAGE_SHIP
-        local_level = AccessLevel.LOCAL
-        remote_level = AccessLevel.REMOTE
-        disk_level = AccessLevel.DISK
-        faults = self.faults
-        telemetry = self.telemetry
-        # Bound methods of the per-run-constant resources, hoisted so
-        # the loop pays neither the attribute walk nor the bound-method
-        # allocation per call (several calls per miss).  Per-miss
-        # remote/home resources vary by page and stay inline.
-        cpu_acquire = cpu_res.acquire_fast
-        cpu_release = cpu_res.release_fast
-        cpu_occupy = cpu_res.occupy
-        net_acquire = medium.acquire_fast
-        net_release = medium.release_fast
-        net_occupy = medium.occupy
-        on_access = None if telemetry is None else telemetry.on_access
-
-        for page_id in page_ids:
-            start = env._now
-            if faults is not None:
-                delay = faults.down_delay(node_id, start)
-                if delay > 0.0:
-                    yield timeout(env, delay)
-            # Buffer-lookup CPU charge, paid on every access.
-            if cpu_acquire():
-                try:
-                    yield timeout(env, lookup_ms)
-                finally:
-                    cpu_release()
+        # Per-node hold chain and fault binding, cached because
+        # re-deriving them costs more than a short run's whole page
+        # loop.  The cache is invalidated whenever the fault layer or
+        # telemetry pipeline changes (both are bound into it).
+        ctx = self._run_ctx.get(node_id)
+        if ctx is None:
+            ctx = self._build_run_ctx(node_id)
+        faults, chain_pool = ctx
+        chain = (
+            chain_pool.pop() if chain_pool
+            else _FetchChain(self, node_id)
+        )
+        try:
+            if faults is None:
+                for page_id in page_ids:
+                    yield chain._access(page_id, class_id, env._now)
             else:
-                yield from cpu_occupy(lookup_ms)
-            hit, dropped = probe(page_id, class_id)
-            if dropped:
-                unregister_many(dropped, node_id)
-            if hit:
-                elapsed = env._now - start
-                observe(local_level, elapsed)
-                if on_access is not None:
-                    on_access(node_id, class_id, local_level, elapsed)
-                continue
-
-            # Miss: try a remote cached copy, else the home disk.
-            level = disk_level
-            remote_id = remote_holder(page_id, node_id)
-            if remote_id is not None:
-                wire = req_wire
-                if faults is not None and faults.extra_ms > 0.0:
-                    wire += faults.extra_ms
-                if net_acquire():
-                    try:
-                        yield timeout(env, wire)
-                    finally:
-                        net_release()
-                else:
-                    yield from net_occupy(wire)
-                record(page_request, req_bytes)
-                remote = nodes[remote_id]
-                remote_res = remote.cpu.resource
-                service = remote_instr / remote.cpu._mips_ms
-                if remote_res.acquire_fast():
-                    try:
-                        yield timeout(env, service)
-                    finally:
-                        remote_res.release_fast()
-                else:
-                    yield from remote_res.occupy(service)
-                # The copy may have been evicted while our request was
-                # in flight; fall back to disk in that case.
-                if remote.buffers.contains(page_id):
-                    wire = ship_wire
-                    if faults is not None and faults.extra_ms > 0.0:
-                        wire += faults.extra_ms
-                    if net_acquire():
-                        try:
-                            yield timeout(env, wire)
-                        finally:
-                            net_release()
-                    else:
-                        yield from net_occupy(wire)
-                    record(page_ship, ship_bytes)
-                    if cpu_acquire():
-                        try:
-                            yield timeout(env, handling_ms)
-                        finally:
-                            cpu_release()
-                    else:
-                        yield from cpu_occupy(handling_ms)
-                    level = remote_level
-            if level is disk_level:
-                home_id = database_home(page_id)
-                home = nodes[home_id]
-                if faults is not None and home_id != node_id:
-                    # The home disk is unreachable while its node
-                    # restarts.
-                    delay = faults.down_delay(home_id, env._now)
+                for page_id in page_ids:
+                    start = env._now
+                    delay = faults.down_delay(node_id, start)
                     if delay > 0.0:
-                        yield timeout(env, delay)
-                home_disk = home.disk
-                disk_res = home_disk.resource
-                disk_service = disk_read_ms
-                if home_disk.fault_factor != 1.0:
-                    disk_service *= home_disk.fault_factor
-                if home_id == node_id:
-                    if disk_res.acquire_fast():
-                        try:
-                            yield timeout(env, disk_service)
-                        finally:
-                            disk_res.release_fast()
-                    else:
-                        yield from disk_res.occupy(disk_service)
-                    home_disk.reads += 1
-                    home_disk.service_stats.add(disk_service)
-                    if cpu_acquire():
-                        try:
-                            yield timeout(env, handling_ms)
-                        finally:
-                            cpu_release()
-                    else:
-                        yield from cpu_occupy(handling_ms)
-                else:
-                    wire = req_wire
-                    if faults is not None and faults.extra_ms > 0.0:
-                        wire += faults.extra_ms
-                    if net_acquire():
-                        try:
-                            yield timeout(env, wire)
-                        finally:
-                            net_release()
-                    else:
-                        yield from net_occupy(wire)
-                    record(page_request, req_bytes)
-                    home_cpu = home.cpu
-                    home_res = home_cpu.resource
-                    service = instr_message / home_cpu._mips_ms
-                    if home_res.acquire_fast():
-                        try:
-                            yield timeout(env, service)
-                        finally:
-                            home_res.release_fast()
-                    else:
-                        yield from home_res.occupy(service)
-                    if disk_res.acquire_fast():
-                        try:
-                            yield timeout(env, disk_service)
-                        finally:
-                            disk_res.release_fast()
-                    else:
-                        yield from disk_res.occupy(disk_service)
-                    home_disk.reads += 1
-                    home_disk.service_stats.add(disk_service)
-                    wire = ship_wire
-                    if faults is not None and faults.extra_ms > 0.0:
-                        wire += faults.extra_ms
-                    if net_acquire():
-                        try:
-                            yield timeout(env, wire)
-                        finally:
-                            net_release()
-                    else:
-                        yield from net_occupy(wire)
-                    record(page_ship, ship_bytes)
-                    if cpu_acquire():
-                        try:
-                            yield timeout(env, handling_ms)
-                        finally:
-                            cpu_release()
-                    else:
-                        yield from cpu_occupy(handling_ms)
+                        yield pooled_timeout(env, delay)
+                    yield chain._access(page_id, class_id, start)
+        finally:
+            # Return the chain for reuse by the next run — unless this
+            # generator was closed mid-access (the chain would still
+            # be armed in the event queue).
+            if chain.callbacks is None:
+                chain_pool.append(chain)
 
-            dropped = admit(page_id, class_id)
-            if dropped:
-                unregister_many(dropped, node_id)
-            if contains(page_id):
-                register(page_id, node_id)
-            elapsed = env._now - start
-            observe(level, elapsed)
-            if on_access is not None:
-                on_access(node_id, class_id, level, elapsed)
+    def _build_run_ctx(self, node_id: int) -> tuple:
+        """Build (and cache) :meth:`access_run`'s per-node context:
+        the fault layer and the node's :class:`_FetchChain` pool."""
+        ctx = (self.faults, [])
+        self._run_ctx[node_id] = ctx
+        return ctx
 
     # -- allocation plumbing --------------------------------------------
 

@@ -33,6 +33,8 @@ from repro.sim.engine import (
     Process,
     SimulationError,
     Timeout,
+    pooled_timeout,
+    pooled_timeout_at,
 )
 from repro.sim.resources import PriorityResource, Resource
 from repro.sim.rng import RandomStreams
@@ -62,4 +64,6 @@ __all__ = [
     "Timeout",
     "WindowStats",
     "mean_confidence_interval",
+    "pooled_timeout",
+    "pooled_timeout_at",
 ]

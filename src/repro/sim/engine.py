@@ -29,7 +29,17 @@ this down):
   heap inline instead of chaining ``Event.__init__`` → ``_schedule``;
 - :meth:`Environment.run` hoists the ``stop_at`` / ``stop_event``
   branches out of the per-event loop into three specialized loops with
-  locally bound queue/heappop references.
+  locally bound queue/heappop references;
+- a *timeout free list*: a fused timeout whose only waiter was resumed
+  through ``_fast_proc`` is provably unreachable by simulation code
+  once its dispatch returns, so the dispatch loops recycle it into
+  ``Environment._pool`` (callbacks list and all) and
+  :func:`pooled_timeout` / :func:`pooled_timeout_at` re-arm pooled
+  records instead of allocating — the dominant allocation on the page
+  access path at large node counts.  Timeouts with extra callbacks, or
+  with no fused waiter (e.g. an event passed to ``run(until=...)``),
+  are never pooled, so late reads of ``.value``/``.processed`` on a
+  retained reference keep working.
 
 Scheduler backends
 ------------------
@@ -187,6 +197,77 @@ class Timeout(Event):
                 env._activate_calendar()
         else:
             calendar.push((env._now + delay, NORMAL, seq, self))
+
+
+def pooled_timeout(env: "Environment", delay: float,
+                   value: Any = None) -> "Timeout":
+    """A :class:`Timeout` from the environment's free list.
+
+    Identical to ``Timeout(env, delay, value)`` — same heap tuple, same
+    sequence number, same observable state — but reuses a recycled
+    timeout record (including its empty callbacks list) when one is
+    available.  Hot paths that schedule one timeout per event round
+    trip bind this function once and skip the allocator entirely.
+    """
+    pool = env._pool
+    if not pool:
+        return Timeout(env, delay, value)
+    if delay < 0:
+        raise ValueError(f"negative delay {delay!r}")
+    self = pool.pop()
+    # _ok is True, _defused False, _fast_proc None and callbacks an
+    # empty list by the recycle invariant; only value/delay change.
+    self._value = value
+    self.delay = delay
+    seq = env._seq
+    env._seq = seq + 1
+    calendar = env._calendar
+    if calendar is None:
+        queue = env._queue
+        heapq.heappush(queue, (env._now + delay, NORMAL, seq, self))
+        if env._auto_at and len(queue) >= env._auto_at:
+            env._activate_calendar()
+    else:
+        calendar.push((env._now + delay, NORMAL, seq, self))
+    return self
+
+
+def pooled_timeout_at(env: "Environment", when: float,
+                      value: Any = None) -> "Timeout":
+    """A pooled :class:`Timeout` firing at *absolute* time ``when``.
+
+    ``Timeout(env, when - env.now)`` re-derives the absolute fire time
+    as ``now + (when - now)``, which is not ``when`` under float
+    rounding; schedulers that walk precomputed absolute timestamps (the
+    block-generated arrival front-end) need the event to land on the
+    exact float.  ``when`` must not lie in the past.
+    """
+    if when < env._now:
+        raise ValueError(f"timeout_at({when!r}) lies in the past")
+    pool = env._pool
+    if pool:
+        self = pool.pop()
+        self._value = value
+    else:
+        self = Timeout.__new__(Timeout)
+        self.env = env
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self._defused = False
+        self._fast_proc = None
+    self.delay = when - env._now
+    seq = env._seq
+    env._seq = seq + 1
+    calendar = env._calendar
+    if calendar is None:
+        queue = env._queue
+        heapq.heappush(queue, (when, NORMAL, seq, self))
+        if env._auto_at and len(queue) >= env._auto_at:
+            env._activate_calendar()
+    else:
+        calendar.push((when, NORMAL, seq, self))
+    return self
 
 
 class Initialize(Event):
@@ -391,7 +472,7 @@ class Environment:
     """
 
     __slots__ = ("_now", "_queue", "_seq", "_active_process",
-                 "_calendar", "_auto_at")
+                 "_calendar", "_auto_at", "_pool", "_pool_high")
 
     def __init__(self, initial_time: float = 0.0,
                  scheduler: str = "auto"):
@@ -399,6 +480,10 @@ class Environment:
         self._queue: List = []  # (time, priority, seq, event)
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Free list of recycled Timeout records (see module docstring)
+        #: and its high-water mark (an off-by-default telemetry gauge).
+        self._pool: List[Timeout] = []
+        self._pool_high = 0
         if scheduler == "auto":
             self._calendar: Optional[CalendarQueue] = None
             self._auto_at = CALENDAR_AUTO_THRESHOLD
@@ -441,7 +526,25 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create a :class:`Timeout` firing ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+        return pooled_timeout(self, delay, value)
+
+    def timeout_at(self, when: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing at absolute time ``when``.
+
+        Unlike ``timeout(when - now)`` the event lands on the exact
+        float ``when`` (no ``now + delta`` re-rounding).
+        """
+        return pooled_timeout_at(self, when, value)
+
+    @property
+    def event_pool_size(self) -> int:
+        """Recycled timeout records currently on the free list."""
+        return len(self._pool)
+
+    @property
+    def event_pool_high_water(self) -> int:
+        """Largest free-list size seen so far (pool growth gauge)."""
+        return self._pool_high
 
     def process(self, generator: Generator) -> Process:
         """Start a new :class:`Process` from ``generator``."""
@@ -517,6 +620,15 @@ class Environment:
         if proc is not None:
             event._fast_proc = None
             proc._resume(event)
+            if not callbacks and type(event) is Timeout:
+                # Fused timeout, no other subscribers: recycle the
+                # record (and its still-empty callbacks list).
+                event.callbacks = callbacks
+                pool = self._pool
+                pool.append(event)
+                if len(pool) > self._pool_high:
+                    self._pool_high = len(pool)
+                return  # a timeout is always _ok
         if callbacks:
             for callback in callbacks:
                 callback(event)
@@ -552,6 +664,7 @@ class Environment:
     # bound list drain to zero and falls through).
 
     def _run_exhaust(self) -> None:
+        pool = self._pool
         while True:
             calendar = self._calendar
             if calendar is not None:
@@ -565,6 +678,12 @@ class Environment:
                     if proc is not None:
                         event._fast_proc = None
                         proc._resume(event)
+                        if not callbacks and type(event) is Timeout:
+                            event.callbacks = callbacks
+                            pool.append(event)
+                            if len(pool) > self._pool_high:
+                                self._pool_high = len(pool)
+                            continue
                     if callbacks:
                         for callback in callbacks:
                             callback(event)
@@ -582,6 +701,12 @@ class Environment:
                 if proc is not None:
                     event._fast_proc = None
                     proc._resume(event)
+                    if not callbacks and type(event) is Timeout:
+                        event.callbacks = callbacks
+                        pool.append(event)
+                        if len(pool) > self._pool_high:
+                            self._pool_high = len(pool)
+                        continue
                 if callbacks:
                     for callback in callbacks:
                         callback(event)
@@ -591,6 +716,7 @@ class Environment:
                 return
 
     def _run_until_time(self, stop_at: float) -> None:
+        pool = self._pool
         while True:
             calendar = self._calendar
             if calendar is not None:
@@ -607,6 +733,12 @@ class Environment:
                     if proc is not None:
                         event._fast_proc = None
                         proc._resume(event)
+                        if not callbacks and type(event) is Timeout:
+                            event.callbacks = callbacks
+                            pool.append(event)
+                            if len(pool) > self._pool_high:
+                                self._pool_high = len(pool)
+                            continue
                     if callbacks:
                         for callback in callbacks:
                             callback(event)
@@ -624,6 +756,12 @@ class Environment:
                 if proc is not None:
                     event._fast_proc = None
                     proc._resume(event)
+                    if not callbacks and type(event) is Timeout:
+                        event.callbacks = callbacks
+                        pool.append(event)
+                        if len(pool) > self._pool_high:
+                            self._pool_high = len(pool)
+                        continue
                 if callbacks:
                     for callback in callbacks:
                         callback(event)

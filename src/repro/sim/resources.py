@@ -18,7 +18,7 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional
 
-from repro.sim.engine import URGENT, Environment, Event
+from repro.sim.engine import URGENT, Environment, Event, pooled_timeout
 
 
 class Request(Event):
@@ -50,6 +50,11 @@ class Request(Event):
 
 class Resource:
     """A server with ``capacity`` units and a FIFO wait queue."""
+
+    __slots__ = (
+        "env", "capacity", "users", "_waiting", "_busy_since",
+        "_busy_time", "_grants", "_wait_total", "_tel_wait",
+    )
 
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity < 1:
@@ -136,17 +141,18 @@ class Resource:
             self._grants += 1
             users.append(self)
             try:
-                yield env.timeout(service)
+                yield pooled_timeout(env, service)
             finally:
                 users.remove(self)
                 if not users and self._busy_since is not None:
                     self._busy_time += env._now - self._busy_since
                     self._busy_since = None
-                self._grant_next()
+                if self._waiting:
+                    self._grant_next()
         else:
             with self.request() as req:
                 yield req
-                yield self.env.timeout(service)
+                yield pooled_timeout(self.env, service)
 
     def acquire_fast(self) -> bool:
         """Take one unit inline if the resource is idle (else False).
@@ -175,7 +181,8 @@ class Resource:
         if not users and self._busy_since is not None:
             self._busy_time += self.env._now - self._busy_since
             self._busy_since = None
-        self._grant_next()
+        if self._waiting:
+            self._grant_next()
 
     # -- internals -------------------------------------------------
 
@@ -238,6 +245,8 @@ class Resource:
 
 class PriorityResource(Resource):
     """A :class:`Resource` whose queue is ordered by request priority."""
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self, env: Environment, capacity: int = 1):
         super().__init__(env, capacity)

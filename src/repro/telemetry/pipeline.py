@@ -203,6 +203,13 @@ def _cluster_sampler(cluster, tel: Telemetry) -> Callable[[], None]:
         registry.counter(
             "repro_resource_grants_total", **labels
         ).value = medium._grants
+        env = cluster.env
+        registry.gauge("repro_event_pool_recycled").set(
+            env.event_pool_size
+        )
+        registry.gauge("repro_event_pool_high_water").set(
+            env.event_pool_high_water
+        )
         accounting = cluster.network.accounting
         for kind in sorted(accounting.bytes_by_kind, key=lambda k: k.value):
             registry.counter(

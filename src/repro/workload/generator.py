@@ -73,25 +73,55 @@ class WorkloadGenerator:
         self.operations_completed = 0
 
     def _picker_for(self, spec: ClassSpec) -> ZipfPagePicker:
-        """The page picker for ``spec``, rebuilt if the spec changed."""
+        """The page picker for ``spec``, rebuilt only if it changed.
+
+        Goal controllers replace ClassSpec objects wholesale (e.g.
+        ``with_goal`` clones) without touching the page distribution;
+        comparing the distribution inputs — not object identity —
+        avoids rebuilding the picker on every such replacement.  The
+        rank sequence is unaffected either way (the alias table depends
+        only on the page count and skew), so reuse is free.
+        """
         cached = self._pickers.get(spec.class_id)
-        if cached is None or cached[0] is not spec:
-            picker = ZipfPagePicker(spec.pages, spec.skew)
-            self._pickers[spec.class_id] = (spec, picker)
-            return picker
-        return cached[1]
+        if cached is not None:
+            old, picker = cached
+            if old is spec:
+                return picker
+            if old.skew == spec.skew and (
+                old.pages is spec.pages or old.pages == spec.pages
+            ):
+                # Same distribution, new spec object: rebind the cache
+                # entry so later identity checks hit.
+                self._pickers[spec.class_id] = (spec, picker)
+                return picker
+        picker = ZipfPagePicker(spec.pages, spec.skew)
+        self._pickers[spec.class_id] = (spec, picker)
+        return picker
 
     def start(self) -> None:
-        """Begin all arrival processes (call once, before env.run)."""
-        for class_spec in self.spec.classes:
-            for node_id in range(self.cluster.num_nodes):
-                self.cluster.env.process(
-                    self._arrivals(node_id, class_spec)
-                )
+        """Begin the arrival front-end (call once, before env.run).
+
+        One block-drawn dispatcher per node replaces the classic
+        per-(node, class) coroutines; arrival times and page draws are
+        bit-identical (see :mod:`repro.workload.blockgen`).
+        """
+        from repro.workload.blockgen import node_dispatcher
+
+        if not self.spec.classes:
+            return
+        for node_id in range(self.cluster.num_nodes):
+            self.cluster.env.process(node_dispatcher(self, node_id))
 
     # -- processes ---------------------------------------------------
 
     def _arrivals(self, node_id: int, class_spec: ClassSpec):
+        """Sequential reference front-end for one (node, class) pair.
+
+        No longer spawned by :meth:`start` — the block-drawn dispatcher
+        replaces it — but kept as the executable specification of the
+        draw-order contract: the equivalence tests replay both paths
+        and require identical arrival traces.
+        """
         env = self.cluster.env
         rng = self.cluster.rng
         class_id = class_spec.class_id

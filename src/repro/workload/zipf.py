@@ -16,7 +16,15 @@ always yields the same rank sequence).
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
+
+#: Memoized alias tables keyed by ``(num_items, theta)``.  Goal sweeps
+#: clone ClassSpecs per sweep point, and every clone used to pay the
+#: O(n) Vose rebuild even though the distribution — which depends only
+#: on the item count and skew — was unchanged.  The tables are
+#: immutable once built, so sharing them across samplers (and across
+#: replicas of the same workload) is safe.
+_ALIAS_CACHE: Dict[Tuple[int, float], Tuple[float, List[float], List[int]]] = {}
 
 
 class ZipfSampler:
@@ -29,9 +37,16 @@ class ZipfSampler:
             raise ValueError("theta must be non-negative")
         self.num_items = num_items
         self.theta = theta
-        weights = [rank ** (-theta) for rank in range(1, num_items + 1)]
-        self._total = sum(weights)
-        self._accept, self._alias = self._build_alias(weights, self._total)
+        cached = _ALIAS_CACHE.get((num_items, theta))
+        if cached is None:
+            weights = [
+                rank ** (-theta) for rank in range(1, num_items + 1)
+            ]
+            total = sum(weights)
+            accept, alias = self._build_alias(weights, total)
+            cached = (total, accept, alias)
+            _ALIAS_CACHE[(num_items, theta)] = cached
+        self._total, self._accept, self._alias = cached
 
     @staticmethod
     def _build_alias(weights: List[float], total: float):
@@ -68,6 +83,20 @@ class ZipfSampler:
             return column
         return self._alias[column]
 
+    def sample_from_uniform(self, u: float) -> int:
+        """Map one uniform variate in [0, 1) to a rank.
+
+        Bit-identical to :meth:`sample` fed the same variate — the
+        block-drawing arrival front-end pre-draws uniforms in stream
+        order and transforms them here, so a block-drawn rank sequence
+        equals the sequential one variate for variate.
+        """
+        scaled = u * self.num_items
+        column = int(scaled)
+        if scaled - column < self._accept[column]:
+            return column
+        return self._alias[column]
+
     def probability(self, rank: int) -> float:
         """Exact access probability of ``rank`` (0-based)."""
         if not 0 <= rank < self.num_items:
@@ -85,3 +114,7 @@ class ZipfPagePicker:
     def pick(self, rng: random.Random) -> int:
         """Draw one page id from the set."""
         return self.pages[self.sampler.sample(rng)]
+
+    def pick_from_uniform(self, u: float) -> int:
+        """Map one pre-drawn uniform variate to a page id."""
+        return self.pages[self.sampler.sample_from_uniform(u)]

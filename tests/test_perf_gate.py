@@ -1,0 +1,121 @@
+"""Unit tests for the CI scaling-regression gate in perf_report."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+)
+
+from perf_report import (  # noqa: E402
+    REGRESSION_TOLERANCE,
+    check_scaling_regression,
+)
+
+
+def _report(rows):
+    return {"benchmarks": rows}
+
+
+def test_gate_passes_within_tolerance():
+    committed = _report({
+        "hot_access_16_nodes": {"us_per_access": 10.0},
+        "hot_access_64_nodes": {"us_per_access": 12.0},
+    })
+    measured = _report({
+        "hot_access_16_nodes": {
+            "us_per_access": 10.0 * (1.0 + REGRESSION_TOLERANCE) - 0.01
+        },
+        "hot_access_64_nodes": {"us_per_access": 11.0},  # improvement
+    })
+    assert check_scaling_regression(measured, committed) == []
+
+
+def test_gate_flags_regressed_rows():
+    committed = _report({
+        "hot_access_16_nodes": {"us_per_access": 10.0},
+        "hot_access_64_nodes": {"us_per_access": 12.0},
+    })
+    measured = _report({
+        "hot_access_16_nodes": {"us_per_access": 13.0},
+        "hot_access_64_nodes": {"us_per_access": 12.5},
+    })
+    failures = check_scaling_regression(measured, committed)
+    assert failures == [("hot_access_16_nodes", 10.0, 13.0)]
+
+
+def test_gate_skips_rows_missing_from_either_side():
+    committed = _report({
+        "hot_access_256_nodes": {"us_per_access": 20.0},
+        "working_set_flatness": {"ratio_1m_vs_8k": 0.95},  # no us row
+    })
+    measured = _report({
+        # 512 row is new — absent from the committed report.
+        "hot_access_512_nodes": {"us_per_access": 999.0},
+        "working_set_flatness": {"ratio_1m_vs_8k": 2.0},
+        "heat_memory_200k_pages": {"peak_bytes": 1},
+    })
+    assert check_scaling_regression(measured, committed) == []
+
+
+def test_gate_normalizes_uniform_machine_slowdown():
+    # Same shape, uniformly 40% slower (a slower CI machine): the
+    # median ratio cancels the speed difference and the gate passes.
+    committed = _report({
+        "hot_access_16_nodes": {"us_per_access": 5.0},
+        "hot_access_64_nodes": {"us_per_access": 7.0},
+        "mixed_access_32n_8000_pages": {"us_per_access": 7.0},
+        "working_set_32n_8000_pages": {"us_per_access": 8.0},
+    })
+    measured = _report({
+        name: {"us_per_access": row["us_per_access"] * 1.4}
+        for name, row in committed["benchmarks"].items()
+    })
+    assert check_scaling_regression(measured, committed) == []
+
+
+def test_gate_catches_single_row_regression_on_slow_machine():
+    # Four rows 30% slower (machine), one row 80% slower (a real
+    # regression): normalization cancels the 30% and flags the spike.
+    committed = _report({
+        "hot_access_16_nodes": {"us_per_access": 5.0},
+        "hot_access_64_nodes": {"us_per_access": 7.0},
+        "hot_access_256_nodes": {"us_per_access": 13.0},
+        "mixed_access_32n_8000_pages": {"us_per_access": 7.0},
+        "working_set_32n_8000_pages": {"us_per_access": 8.0},
+    })
+    measured = _report({
+        name: {"us_per_access": row["us_per_access"] * 1.3}
+        for name, row in committed["benchmarks"].items()
+    })
+    measured["benchmarks"]["hot_access_256_nodes"]["us_per_access"] = (
+        13.0 * 1.8
+    )
+    failures = check_scaling_regression(measured, committed)
+    assert failures == [("hot_access_256_nodes", 13.0, 13.0 * 1.8)]
+
+
+def test_gate_absolute_fallback_below_three_rows():
+    # With fewer than three comparable rows there is no meaningful
+    # median; the comparison is absolute, so a uniform slowdown fails.
+    committed = _report({
+        "hot_access_16_nodes": {"us_per_access": 5.0},
+        "hot_access_64_nodes": {"us_per_access": 7.0},
+    })
+    measured = _report({
+        "hot_access_16_nodes": {"us_per_access": 7.0},
+        "hot_access_64_nodes": {"us_per_access": 9.8},
+    })
+    failures = check_scaling_regression(measured, committed)
+    assert len(failures) == 2
+
+
+def test_gate_tolerance_parameter():
+    committed = _report({"row": {"us_per_access": 10.0}})
+    measured = _report({"row": {"us_per_access": 10.5}})
+    assert check_scaling_regression(
+        measured, committed, tolerance=0.01
+    ) == [("row", 10.0, 10.5)]
+    assert check_scaling_regression(
+        measured, committed, tolerance=0.10
+    ) == []

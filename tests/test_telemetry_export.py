@@ -152,3 +152,25 @@ def test_jobs_do_not_change_telemetry(tmp_path):
     points_2, tree_2 = _sweep(tmp_path, "j2", "cold", 2)
     assert points_1 == points_2
     assert tree_1 == tree_2
+
+
+def test_event_pool_gauges_exported(tmp_path):
+    """The engine's timeout free-list shows up as export-time gauges.
+
+    Off by default: the gauges are sampled only when telemetry is
+    attached and an exporter collects, so disabled runs pay nothing.
+    """
+    outdir = str(tmp_path / "tel")
+    _short_figure2(telemetry=outdir)
+    found = {}
+    for dirpath, _, files in os.walk(outdir):
+        if METRICS_JSON_FILE not in files:
+            continue
+        path = os.path.join(dirpath, METRICS_JSON_FILE)
+        with open(path, "r", encoding="utf-8") as fh:
+            for entry in json.load(fh)["metrics"]:
+                if entry["name"].startswith("repro_event_pool"):
+                    found[entry["name"]] = entry["value"]
+    assert "repro_event_pool_recycled" in found
+    # Any real run recycles timeouts, so the high-water mark is live.
+    assert found["repro_event_pool_high_water"] > 0
