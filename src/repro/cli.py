@@ -16,10 +16,15 @@ Commands map one-to-one onto the paper's experiments plus a demo run:
   experiment (see docs/observability.md)
 - ``validate-analytic`` — cross-validate the simulator against exact
   MVA on product-form-reducible configurations (see docs/analytic.md)
+- ``serve``      — the live observability service: dashboard, SSE
+  stream, Prometheus scrape, and run catalog over recorded telemetry
 
 ``figure2``, ``multiclass``, ``resilience``, and ``scaling`` accept
 ``--telemetry DIR`` to export structured traces, metrics, and a
-Perfetto-loadable timeline of the run.
+Perfetto-loadable timeline of the run.  ``figure2``, ``multiclass``,
+``resilience``, and ``chaos`` additionally accept ``--live-port P`` to
+stream the running experiment to a browser dashboard (see
+docs/observability.md, "Live service").
 """
 
 from __future__ import annotations
@@ -37,6 +42,30 @@ from repro.experiments.runner import (
 def _note_telemetry(args) -> None:
     if getattr(args, "telemetry", None):
         print(f"telemetry exported to {args.telemetry}")
+
+
+def _start_live(args):
+    """Start the live streaming service when ``--live-port`` is given.
+
+    Returns the running service (to be stopped in a finally) or None.
+    Installing the service arms the module-level live hook, so every
+    simulation the command activates in this process streams to it.
+    """
+    port = getattr(args, "live_port", None)
+    if port is None:
+        return None
+    from repro.telemetry.server import LiveService
+
+    service = LiveService.live(
+        port=port, telemetry_dir=getattr(args, "telemetry", None)
+    ).start()
+    print(f"live dashboard at {service.url} (streaming this run)")
+    return service
+
+
+def _stop_live(service) -> None:
+    if service is not None:
+        service.stop()
 
 
 def _cmd_table1(args) -> None:
@@ -85,6 +114,8 @@ def _cmd_figure2(args) -> None:
     print(f"satisfaction ratio: {data.satisfaction_ratio():.2f}")
     if data.p95_rt_ms is not None:
         print(f"p95 response time: {data.p95_rt_ms:.2f} ms")
+    if data.quantiles_text() is not None:
+        print(data.quantiles_text())
     print(f"corr(RT, dedicated): {data.rt_tracks_memory():.2f}")
     _note_telemetry(args)
 
@@ -364,6 +395,39 @@ def _cmd_validate_analytic(args) -> None:
         sys.exit(1)
 
 
+def _cmd_serve(args) -> None:
+    """Run the observability service over recorded telemetry."""
+    from repro.telemetry.server import LiveService
+
+    service = LiveService.replay(
+        args.telemetry_dir, port=args.port, host=args.host
+    ).start()
+    runs = service.runs()
+    print(f"serving {len(runs)} recorded run(s) from {args.telemetry_dir}")
+    for info in runs:
+        span = (
+            f"{(info.t_max - info.t_min) / 1000.0:.1f}s sim"
+            if info.t_min is not None and info.t_max is not None else "empty"
+        )
+        print(f"  {info.run_id}  {info.name}  "
+              f"({info.records} records, {span})")
+    print(f"dashboard: {service.url}/  "
+          f"metrics: {service.url}/metrics  "
+          f"catalog: {service.url}/api/runs")
+    if args.once:
+        service.stop()
+        return
+    import time
+
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.stop()
+
+
 def _cmd_demo(args) -> None:
     from repro import build_base_experiment
 
@@ -449,6 +513,18 @@ def _add_warmup_flag(
     )
 
 
+def _add_live_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--live-port", type=int, default=None, metavar="PORT",
+        help=(
+            "stream this run to the live observability dashboard on "
+            "localhost:PORT (0 picks a free port); results are "
+            "bit-identical with or without the flag (see "
+            "docs/observability.md)"
+        ),
+    )
+
+
 def _add_prescreen_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--prescreen", type=int, default=0, metavar="N",
@@ -496,6 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_flag(p)
     _add_jobs_flag(p)
     _add_telemetry_flag(p)
+    _add_live_flag(p)
     p.set_defaults(func=_cmd_figure2)
 
     p = sub.add_parser("table2", help="convergence vs. skew")
@@ -517,6 +594,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_flag(p)
     _add_jobs_flag(p)
     _add_telemetry_flag(p)
+    _add_live_flag(p)
     p.set_defaults(func=_cmd_multiclass)
 
     p = sub.add_parser("overhead", help="§7.5 overhead breakdown")
@@ -553,6 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_flag(p)
     _add_jobs_flag(p)
     _add_telemetry_flag(p)
+    _add_live_flag(p)
     p.set_defaults(func=_cmd_resilience)
 
     p = sub.add_parser(
@@ -572,6 +651,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(the CI resilience-matrix artifact)")
     _add_warmup_flag(p, RESILIENCE_WARMUP_MS)
     _add_jobs_flag(p)
+    _add_live_flag(p)
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("scaling", help="node-count / complexity scaling")
@@ -618,6 +698,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
+        "serve",
+        help="observability service over recorded telemetry exports",
+    )
+    p.add_argument("--telemetry-dir", metavar="DIR",
+                   default="telemetry-out",
+                   help="telemetry export tree to catalog and replay "
+                        "(default: telemetry-out)")
+    p.add_argument("--port", type=int, default=8799,
+                   help="TCP port to bind (0 picks a free port; "
+                        "default: 8799)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--once", action="store_true",
+                   help="print the catalog and exit immediately "
+                        "(smoke-test mode)")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
         "validate-analytic",
         help="cross-validate the simulator against exact MVA",
     )
@@ -644,7 +742,14 @@ def main(argv: Optional[List[str]] = None) -> None:
     """Entry point for ``python -m repro``."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
+    # --live-port (figure2/multiclass/resilience/chaos) streams the
+    # run to a dashboard for its duration; the service and its bus are
+    # torn down when the command finishes either way.
+    service = _start_live(args)
+    try:
+        args.func(args)
+    finally:
+        _stop_live(service)
 
 
 if __name__ == "__main__":

@@ -46,6 +46,11 @@ from repro.core.coordinator import Coordinator, CoordinatorDecision
 from repro.core.tolerance import GoalTolerance
 from repro.sim.stats import P2Quantile, TimeSeries
 
+#: Quantiles tracked per goal class when telemetry is attached (see
+#: :meth:`GoalOrientedController.track_extended_quantiles`), exported
+#: as Prometheus ``quantile=`` labels and surfaced in result tables.
+EXTENDED_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.95, 0.99)
+
 
 class ClassSeries:
     """Recorded per-interval series for one goal class."""
@@ -164,6 +169,13 @@ class GoalOrientedController:
         self.class_p95: Dict[int, P2Quantile] = {
             class_id: P2Quantile(0.95) for class_id in goals
         }
+        #: Extended quantile tracking (p50/p90/p95/p99), None until
+        #: :meth:`track_extended_quantiles` — telemetry attachment —
+        #: arms it, so untracked runs pay one ``is None`` check per
+        #: completion.  class -> quantile -> P2Quantile.
+        self.class_quantiles: Optional[
+            Dict[int, Dict[float, P2Quantile]]
+        ] = None
         #: Telemetry pipeline or None (off by default, one attribute
         #: check per interval phase when disabled).
         self.telemetry = None
@@ -185,10 +197,45 @@ class GoalOrientedController:
         quantile = self.class_p95.get(class_id)
         if quantile is not None:
             quantile.add(response_ms)
+        if self.class_quantiles is not None:
+            tracked = self.class_quantiles.get(class_id)
+            if tracked is not None:
+                for estimator in tracked.values():
+                    estimator.add(response_ms)
 
     def p95_response_ms(self, class_id: int) -> float:
         """Run-wide 95th-percentile response time of a goal class."""
         return self.class_p95[class_id].value
+
+    def track_extended_quantiles(self) -> None:
+        """Arm per-class p50/p90/p95/p99 tracking (idempotent).
+
+        Called at telemetry attachment; completions observed from then
+        on feed fresh P2 estimators per goal class.  Mutates attributes
+        only — no events, no RNG — so a warmed simulation's fingerprint
+        is unchanged.
+        """
+        if self.class_quantiles is None:
+            self.class_quantiles = {
+                class_id: {q: P2Quantile(q) for q in EXTENDED_QUANTILES}
+                for class_id in self.class_p95
+            }
+
+    def response_quantiles(
+        self, class_id: int
+    ) -> Optional[Dict[float, float]]:
+        """Extended quantiles for a class, or None when untracked.
+
+        Returns ``{quantile: response_ms}`` for the quantiles in
+        :data:`EXTENDED_QUANTILES` once at least one completion has
+        been observed since tracking was armed.
+        """
+        if self.class_quantiles is None:
+            return None
+        tracked = self.class_quantiles.get(class_id)
+        if tracked is None or next(iter(tracked.values())).count == 0:
+            return None
+        return {q: est.value for q, est in tracked.items()}
 
     def _agent(self, class_id: int, node_id: int) -> ClassAgent:
         agent = self.agents.get((class_id, node_id))

@@ -18,7 +18,7 @@ from __future__ import annotations
 import functools
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.config import SystemConfig
 from repro.experiments.calibration import GoalRange, calibrate_goal_range
@@ -44,12 +44,26 @@ class Figure2Data:
     #: Streaming p95 of the goal class's response times over the
     #: measured horizon (P² estimate; None before any completion).
     p95_rt_ms: Optional[float] = None
+    #: Extended {quantile: response_ms} (p50/p90/p95/p99) — populated
+    #: only when telemetry was attached (the existing flag), None
+    #: otherwise so untraced outputs are unchanged.
+    quantiles: Optional[Dict[float, float]] = None
 
     def satisfaction_ratio(self) -> float:
         """Fraction of intervals in which the goal was satisfied."""
         if not self.satisfied:
             return 0.0
         return sum(self.satisfied) / len(self.satisfied)
+
+    def quantiles_text(self) -> Optional[str]:
+        """One-line p50/p90/p95/p99 summary, or None when untracked."""
+        if not self.quantiles:
+            return None
+        parts = ", ".join(
+            f"p{q * 100:g}={ms:.2f}"
+            for q, ms in sorted(self.quantiles.items())
+        )
+        return f"response time quantiles (ms): {parts}"
 
     def rt_tracks_memory(self) -> float:
         """Correlation between RT and dedicated memory (expected < 0)."""
@@ -171,6 +185,7 @@ def run_figure2(
         data.satisfied.append(series.satisfied[i])
     if sim.controller.class_p95[1].count:
         data.p95_rt_ms = sim.controller.p95_response_ms(1)
+    data.quantiles = sim.controller.response_quantiles(1)
     sim.export_telemetry()
     return data
 
@@ -190,6 +205,9 @@ class GoalPoint:
     satisfied: List[bool] = field(default_factory=list)
     #: Streaming p95 of the goal class's response times (P² estimate).
     p95_rt_ms: float = 0.0
+    #: Extended {quantile: response_ms}; None when the point ran
+    #: without telemetry (keeps untraced sweep tables unchanged).
+    quantiles: Optional[Dict[float, float]] = None
 
     def satisfaction_ratio(self) -> float:
         """Fraction of intervals in which the goal was satisfied."""
@@ -221,21 +239,37 @@ class GoalSweepData:
     prescreen: Optional[object] = None
 
     def to_text(self) -> str:
-        """Render the sweep as an aligned text table."""
-        rows = [
-            [
+        """Render the sweep as an aligned text table.
+
+        When points carry extended quantiles (telemetry-attached
+        sweeps) the table grows p50/p90/p99 columns; untraced sweeps
+        keep the original six columns.
+        """
+        extended = any(p.quantiles for p in self.points)
+        rows = []
+        for p in self.points:
+            row = [
                 p.seed,
                 round(p.goal_ms, 3),
                 round(p.satisfaction_ratio(), 3),
                 round(p.mean_observed_rt(), 3),
                 round(p.p95_rt_ms, 3),
-                int(p.mean_dedicated_bytes()),
             ]
-            for p in self.points
-        ]
+            if extended:
+                q = p.quantiles or {}
+                row.extend(
+                    round(q[key], 3) if key in q else "-"
+                    for key in (0.5, 0.9, 0.99)
+                )
+            row.append(int(p.mean_dedicated_bytes()))
+            rows.append(row)
+        header = ["seed", "goal_ms", "satisfied", "mean_rt_ms",
+                  "p95_rt_ms"]
+        if extended:
+            header += ["p50_rt_ms", "p90_rt_ms", "p99_rt_ms"]
+        header.append("mean dedicated (B)")
         return format_table(
-            ["seed", "goal_ms", "satisfied", "mean_rt_ms", "p95_rt_ms",
-             "mean dedicated (B)"],
+            header,
             rows,
             title=f"Figure 2 goal sweep ({self.runner} runner)",
         )
@@ -248,6 +282,7 @@ def _summarize_goal_point(sim: Simulation, intervals: int) -> GoalPoint:
     point = GoalPoint(
         goal_ms=sim.controller.goal_of(1), seed=sim.cluster.rng.seed,
         p95_rt_ms=sim.controller.p95_response_ms(1),
+        quantiles=sim.controller.response_quantiles(1),
     )
     observed = series.observed_rt.values
     for i in range(len(series.goal.values)):
@@ -460,6 +495,8 @@ def main() -> None:
     emit(f"satisfaction ratio: {data.satisfaction_ratio():.2f}")
     if data.p95_rt_ms is not None:
         emit(f"p95 response time: {data.p95_rt_ms:.2f} ms")
+    if data.quantiles_text() is not None:
+        emit(data.quantiles_text())
     emit(f"corr(RT, dedicated memory): {data.rt_tracks_memory():.2f}")
 
 

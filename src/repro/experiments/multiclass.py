@@ -24,7 +24,7 @@ from __future__ import annotations
 import functools
 import os
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.config import NodeParameters, SystemConfig
 from repro.experiments.parallel import run_tasks
@@ -94,6 +94,10 @@ class SharingPoint:
     #: Streaming p95 response times over the measured horizon (P²).
     p95_rt_k1: float = 0.0
     p95_rt_k2: float = 0.0
+    #: Extended {quantile: response_ms} per class; None when the point
+    #: ran without telemetry (keeps untraced tables unchanged).
+    quantiles_k1: Optional[Dict[float, float]] = None
+    quantiles_k2: Optional[Dict[float, float]] = None
 
 
 @dataclass
@@ -112,9 +116,17 @@ class MulticlassResult:
         )
 
     def to_text(self) -> str:
-        """Render the sweep as an aligned text table."""
-        rows = [
-            [
+        """Render the sweep as an aligned text table.
+
+        Telemetry-attached runs carry extended quantiles and grow
+        p99 columns per class; untraced runs keep the original table.
+        """
+        extended = any(
+            p.quantiles_k1 or p.quantiles_k2 for p in self.points
+        )
+        rows = []
+        for p in self.points:
+            row = [
                 p.sharing,
                 int(p.dedicated_k1_bytes),
                 int(p.dedicated_k2_bytes),
@@ -125,12 +137,19 @@ class MulticlassResult:
                 p.p95_rt_k1,
                 p.p95_rt_k2,
             ]
-            for p in self.points
-        ]
+            if extended:
+                for q in (p.quantiles_k1, p.quantiles_k2):
+                    row.append(
+                        round(q[0.99], 3) if q and 0.99 in q else "-"
+                    )
+            rows.append(row)
+        header = ["sharing", "dedicated k1 (B)", "dedicated k2 (B)",
+                  "goal met k1", "goal met k2", "rt k1 (ms)",
+                  "rt k2 (ms)", "p95 k1 (ms)", "p95 k2 (ms)"]
+        if extended:
+            header += ["p99 k1 (ms)", "p99 k2 (ms)"]
         return format_table(
-            ["sharing", "dedicated k1 (B)", "dedicated k2 (B)",
-             "goal met k1", "goal met k2", "rt k1 (ms)", "rt k2 (ms)",
-             "p95 k1 (ms)", "p95 k2 (ms)"],
+            header,
             rows,
             title="Section 7.4: data sharing between goal classes",
         )
@@ -198,6 +217,8 @@ def _summarize_sharing_point(
         goal_met_k2=goal_met(s2, goal2_ms),
         p95_rt_k1=sim.controller.p95_response_ms(1),
         p95_rt_k2=sim.controller.p95_response_ms(2),
+        quantiles_k1=sim.controller.response_quantiles(1),
+        quantiles_k2=sim.controller.response_quantiles(2),
     )
     sim.export_telemetry()
     return point
@@ -262,10 +283,14 @@ class GoalPairPoint:
     goal2_ms: float
     point: SharingPoint
 
-    def to_row(self) -> list:
-        """The point as one row of the sweep table."""
+    def to_row(self, extended: bool = False) -> list:
+        """The point as one row of the sweep table.
+
+        ``extended`` appends the telemetry-tracked p99 per class
+        (``"-"`` for points that ran untracked).
+        """
         p = self.point
-        return [
+        row = [
             self.goal1_ms,
             self.goal2_ms,
             int(p.dedicated_k1_bytes),
@@ -277,6 +302,10 @@ class GoalPairPoint:
             p.p95_rt_k1,
             p.p95_rt_k2,
         ]
+        if extended:
+            for q in (p.quantiles_k1, p.quantiles_k2):
+                row.append(round(q[0.99], 3) if q and 0.99 in q else "-")
+        return row
 
 
 @dataclass
@@ -291,12 +320,23 @@ class MulticlassGoalSweep:
     prescreen: Optional[object] = None
 
     def to_text(self) -> str:
-        """Render the sweep as an aligned text table."""
+        """Render the sweep as an aligned text table.
+
+        Telemetry-attached sweeps grow per-class p99 columns.
+        """
+        extended = any(
+            p.point.quantiles_k1 or p.point.quantiles_k2
+            for p in self.points
+        )
+        header = ["goal k1 (ms)", "goal k2 (ms)", "dedicated k1 (B)",
+                  "dedicated k2 (B)", "goal met k1", "goal met k2",
+                  "rt k1 (ms)", "rt k2 (ms)", "p95 k1 (ms)",
+                  "p95 k2 (ms)"]
+        if extended:
+            header += ["p99 k1 (ms)", "p99 k2 (ms)"]
         return format_table(
-            ["goal k1 (ms)", "goal k2 (ms)", "dedicated k1 (B)",
-             "dedicated k2 (B)", "goal met k1", "goal met k2",
-             "rt k1 (ms)", "rt k2 (ms)", "p95 k1 (ms)", "p95 k2 (ms)"],
-            [p.to_row() for p in self.points],
+            header,
+            [p.to_row(extended) for p in self.points],
             title=(
                 f"Section 7.4 goal-pair sweep (sharing "
                 f"{self.sharing:.2f}, {self.runner} runner)"

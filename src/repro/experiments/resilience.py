@@ -170,6 +170,9 @@ class ResilienceReplicate:
     total_violation_area: float = 0.0
     #: Streaming p95 of the goal class's response times (P² estimate).
     p95_rt_ms: float = 0.0
+    #: Extended {quantile: response_ms}; None when the replicate ran
+    #: without telemetry (keeps untraced reports unchanged).
+    quantiles: Optional[Dict[float, float]] = None
 
 
 @dataclass
@@ -246,6 +249,16 @@ class ResilienceData:
             rep.p95_rt_ms for rep in self.replicates
         ) / len(self.replicates)
 
+    def mean_quantiles(self) -> Optional[Dict[float, float]]:
+        """Mean per-replicate extended quantiles, or None untracked."""
+        tracked = [r.quantiles for r in self.replicates if r.quantiles]
+        if not tracked:
+            return None
+        keys = sorted(tracked[0])
+        return {
+            q: sum(t[q] for t in tracked) / len(tracked) for q in keys
+        }
+
     # -- presentation -------------------------------------------------
 
     def to_text(self) -> str:
@@ -290,6 +303,15 @@ class ResilienceData:
             f"{self.mean_violation_area():.2f} ms*s",
             f"mean p95 response time: "
             f"{self.mean_p95_rt_ms():.2f} ms",
+            *(
+                [
+                    "mean response time quantiles (ms): " + ", ".join(
+                        f"p{q * 100:g}={ms:.2f}"
+                        for q, ms in sorted(self.mean_quantiles().items())
+                    )
+                ]
+                if self.mean_quantiles() is not None else []
+            ),
             f"reports dropped: "
             f"{sum(r.reports_dropped for r in self.replicates)}, "
             f"allocation retries: "
@@ -477,6 +499,7 @@ def _measure_resilience(
     rep.allocation_unconfirmed = controller.allocation_unconfirmed
     rep.invalidated_points = coordinator.invalidated_points
     rep.p95_rt_ms = controller.p95_response_ms(GOAL_CLASS)
+    rep.quantiles = controller.response_quantiles(GOAL_CLASS)
     rep.coordinator_crashes = controller.coordinator_crashes
     rep.reports_unreachable = controller.reports_unreachable
     rep.allocations_deferred = controller.allocations_deferred

@@ -138,7 +138,11 @@ class Simulation:
         self._started = True
         import repro.telemetry as telemetry_mod
 
-        if self._telemetry_spec is not None or telemetry_mod.is_enabled():
+        if (
+            self._telemetry_spec is not None
+            or telemetry_mod.is_enabled()
+            or telemetry_mod.live_installed()
+        ):
             if self.telemetry is None:
                 self.telemetry = telemetry_mod.attach_simulation(self)
         self.controller.start()

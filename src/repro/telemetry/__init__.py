@@ -63,6 +63,19 @@ def disable() -> None:
     _enabled = False
 
 
+def live_installed() -> bool:
+    """Whether a live streaming bus is installed (``--live-port``).
+
+    Lazy: the :mod:`repro.telemetry.live` module is only imported once
+    something has installed a bus, so the common non-streaming path
+    costs a dict lookup in ``sys.modules``.
+    """
+    import sys
+
+    live = sys.modules.get("repro.telemetry.live")
+    return live is not None and live.installed() is not None
+
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -77,6 +90,7 @@ __all__ = [
     "disable",
     "enable",
     "is_enabled",
+    "live_installed",
     "merge_point_dirs",
     "prometheus_text",
     "write_export",

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 TRACE_FILE = "trace.jsonl"
@@ -197,28 +198,65 @@ def merge_point_dirs(outdir: str,
 
     ``points`` is an ordered list of ``(label, point_dir)``.  The merged
     ``trace.jsonl`` carries each point's records annotated with its
-    label, in the given order, and ``points.json`` records the layout.
-    The caller passes the same labels in the same order for fork and
-    cold sweeps, so the merged artifacts are bit-identical across
-    runners.
+    label and sorted by **(sim-time, point position, emit sequence)**:
+    records interleave on the shared simulated clock, ties broken first
+    by the point's position in ``points`` and then by the record's emit
+    order within its own trace.  The sort is stable and depends only on
+    the inputs, so fork and cold sweeps over the same labels produce a
+    bit-identical merge.
+
+    Partially written point directories — a missing or truncated
+    ``trace.jsonl`` left behind by a killed sweep — are skipped with a
+    :class:`RuntimeWarning` instead of aborting the merge; their
+    manifest entries carry a ``"skipped"`` reason and zero records.
+    ``points.json`` records the layout either way.
     """
     os.makedirs(outdir, exist_ok=True)
     merged = os.path.join(outdir, TRACE_FILE)
     manifest: List[Dict] = []
-    with open(merged, "w", encoding="utf-8") as out:
-        for label, point_dir in points:
-            trace_path = os.path.join(point_dir, TRACE_FILE)
-            entry = {"label": label,
-                     "dir": os.path.relpath(point_dir, outdir),
-                     "records": 0}
-            if os.path.exists(trace_path):
-                with open(trace_path, "r", encoding="utf-8") as fh:
-                    for line in fh:
-                        record = json.loads(line)
-                        record["point"] = label
-                        out.write(json.dumps(record, sort_keys=True) + "\n")
-                        entry["records"] += 1
+    collected: List[Tuple[float, int, int, Dict]] = []
+    for point_id, (label, point_dir) in enumerate(points):
+        trace_path = os.path.join(point_dir, TRACE_FILE)
+        entry = {"label": label,
+                 "dir": os.path.relpath(point_dir, outdir),
+                 "records": 0}
+        if not os.path.exists(trace_path):
+            entry["skipped"] = "missing trace.jsonl"
+            warnings.warn(
+                f"sweep point {label!r}: no trace at {trace_path}; "
+                "skipping (killed sweep?)",
+                RuntimeWarning, stacklevel=2,
+            )
             manifest.append(entry)
+            continue
+        records: List[Tuple[float, int, int, Dict]] = []
+        try:
+            with open(trace_path, "r", encoding="utf-8") as fh:
+                for seq, line in enumerate(fh):
+                    record = json.loads(line)
+                    record["point"] = label
+                    records.append(
+                        (float(record.get("t", 0.0)), point_id, seq, record)
+                    )
+        except ValueError as exc:
+            # A torn final line means the whole point is suspect: the
+            # writer died mid-export, so drop it rather than merge a
+            # partial trace.
+            entry["skipped"] = f"unparsable trace.jsonl: {exc}"
+            warnings.warn(
+                f"sweep point {label!r}: unparsable trace at "
+                f"{trace_path} ({exc}); skipping (killed sweep?)",
+                RuntimeWarning, stacklevel=2,
+            )
+            manifest.append(entry)
+            continue
+        entry["records"] = len(records)
+        collected.extend(records)
+        manifest.append(entry)
+    collected.sort(key=lambda item: item[:3])
+    with open(merged, "w", encoding="utf-8") as out:
+        for _, _, _, record in collected:
+            out.write(json.dumps(record, sort_keys=True) + "\n")
     manifest_path = os.path.join(outdir, MANIFEST_FILE)
     with open(manifest_path, "w", encoding="utf-8") as fh:
         json.dump(manifest, fh, indent=2, sort_keys=True)

@@ -145,14 +145,27 @@ def attach_cluster(cluster) -> Telemetry:
 
 
 def attach_simulation(sim) -> Telemetry:
-    """Attach telemetry to a full simulation (cluster + feedback loop)."""
+    """Attach telemetry to a full simulation (cluster + feedback loop).
+
+    Besides the cluster wiring this arms the controller's extended
+    p50/p90/p95/p99 quantile tracking and — when a live bus is
+    installed (``repro.telemetry.live.install``) — tees the trace into
+    it via a sim-time snapshot sampler paced at the controller's
+    observation interval.
+    """
+    from repro.telemetry import live
+
     tel = attach_cluster(sim.cluster)
     controller = getattr(sim, "controller", None)
     if controller is not None:
         controller.telemetry = tel
+        controller.track_extended_quantiles()
         for coordinator in controller.coordinators.values():
             coordinator.telemetry = tel
         tel.add_sampler(_controller_sampler(controller, tel))
+        live.wire(tel, interval_ms=controller.interval_ms)
+    else:
+        live.wire(tel)
     return tel
 
 
@@ -286,6 +299,13 @@ def _controller_sampler(controller, tel: Telemetry) -> Callable[[], None]:
             registry.gauge(
                 "repro_coordinator_goal_ms", **labels
             ).set(coordinator.goal_ms)
+            quantiles = controller.response_quantiles(class_id)
+            if quantiles:
+                for q, value in sorted(quantiles.items()):
+                    registry.gauge(
+                        "repro_class_response_ms",
+                        quantile=f"{q:g}", **labels,
+                    ).set(value)
         for (class_id, node_id), agent in sorted(controller.agents.items()):
             if agent.lifetime_completions == 0:
                 continue

@@ -1,0 +1,309 @@
+"""The live observability HTTP service (stdlib-only).
+
+:class:`LiveService` wraps a threading ``http.server`` around the
+telemetry layer in one of two modes:
+
+* **live** (:meth:`LiveService.live`) — installs a
+  :class:`~repro.telemetry.live.TelemetryBus` via the module-level
+  hook, so any simulation activated afterwards streams trace records
+  and metric snapshots to ``/events`` subscribers while it runs;
+* **replay** (:meth:`LiveService.replay`) — serves a recorded
+  ``--telemetry DIR`` tree: the run catalog under ``/api/runs`` and
+  any run's trace re-streamed over SSE at adjustable speed.
+
+Endpoints (both modes): ``/`` single-file HTML dashboard, ``/metrics``
+Prometheus text, ``/events`` SSE, ``/api/runs`` + ``/api/runs/<id>``
+JSON catalog.  Everything runs on HTTP server threads; the simulation
+thread only ever appends to bounded bus queues, so serving cannot
+perturb results.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.telemetry import catalog, live
+from repro.telemetry.dashboard import DASHBOARD_HTML
+from repro.telemetry.exporters import METRICS_TEXT_FILE, prometheus_text
+from repro.telemetry.live import TelemetryBus, sse_format
+
+#: Seconds between SSE keepalive comments when a live stream is idle.
+KEEPALIVE_S = 5.0
+
+#: Ceiling on one replay pacing sleep, so even speed=1 over a long
+#: interval gap stays responsive to disconnects (seconds).
+MAX_REPLAY_SLEEP_S = 1.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request against the owning :class:`LiveService`."""
+
+    protocol_version = "HTTP/1.1"
+    service: "LiveService" = None  # set on the per-service subclass
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # noqa: D102 - silence stderr
+        pass
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Access-Control-Allow-Origin", "*")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, doc: Dict, status: int = 200) -> None:
+        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self._send(status, "application/json; charset=utf-8", body)
+
+    # -- routing -------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        query = parse_qs(url.query)
+        try:
+            if url.path == "/":
+                self._send(200, "text/html; charset=utf-8",
+                           DASHBOARD_HTML.encode("utf-8"))
+            elif url.path == "/metrics":
+                self._get_metrics()
+            elif url.path == "/api/runs":
+                self._get_runs()
+            elif url.path.startswith("/api/runs/"):
+                self._get_run(url.path[len("/api/runs/"):])
+            elif url.path == "/events":
+                self._get_events(query)
+            else:
+                self._send_json({"error": f"no route {url.path}"}, 404)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+
+    # -- endpoints -----------------------------------------------------
+
+    def _get_metrics(self) -> None:
+        text = self.service.metrics_text()
+        self._send(200, "text/plain; version=0.0.4; charset=utf-8",
+                   text.encode("utf-8"))
+
+    def _get_runs(self) -> None:
+        runs = self.service.runs()
+        self._send_json({
+            "live": self.service.bus is not None,
+            "runs": [info.to_dict() for info in runs],
+        })
+
+    def _get_run(self, run_id: str) -> None:
+        info = self.service.find_run(run_id)
+        if info is None:
+            self._send_json({"error": f"no run {run_id!r}"}, 404)
+            return
+        self._send_json(catalog.run_detail(info))
+
+    def _get_events(self, query: Dict) -> None:
+        replay = query.get("replay", [None])[0]
+        if replay is None and self.service.bus is None:
+            replay = "latest"
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Access-Control-Allow-Origin", "*")
+        # Unframed stream: the connection itself delimits the body.
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        if replay is not None:
+            speed = float(query.get("speed", ["0"])[0] or 0.0)
+            self.service.stream_replay(self.wfile, replay, speed)
+        else:
+            self.service.stream_live(self.wfile)
+
+
+class LiveService:
+    """The observability HTTP service; one per port.
+
+    Construct via :meth:`live` (stream a running experiment) or
+    :meth:`replay` (serve a recorded telemetry tree); both accept
+    ``port=0`` to bind an ephemeral port (read it back from
+    :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(self, *, bus: Optional[TelemetryBus] = None,
+                 telemetry_dir: Optional[str] = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        if bus is None and telemetry_dir is None:
+            raise ValueError("need a live bus or a telemetry directory")
+        self.bus = bus
+        self.telemetry_dir = telemetry_dir
+        handler = type("_BoundHandler", (_Handler,), {"service": self})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def live(cls, port: int = 0, host: str = "127.0.0.1",
+             telemetry_dir: Optional[str] = None) -> "LiveService":
+        """Start streaming mode: install a bus and arm the live hook.
+
+        Simulations activated while the service runs attach telemetry
+        and stream to it; an optional ``telemetry_dir`` additionally
+        serves any recorded runs alongside the live stream.
+        """
+        bus = TelemetryBus()
+        service = cls(bus=bus, telemetry_dir=telemetry_dir,
+                      host=host, port=port)
+        live.install(bus)
+        return service
+
+    @classmethod
+    def replay(cls, telemetry_dir: str, port: int = 0,
+               host: str = "127.0.0.1") -> "LiveService":
+        """Catalog/replay mode over a recorded telemetry tree."""
+        return cls(telemetry_dir=telemetry_dir, host=host, port=port)
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running service."""
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "LiveService":
+        """Serve in a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name=f"repro-live-:{self.port}", daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down, close the bus, and disarm the live hook."""
+        self._stopping.set()
+        if self.bus is not None:
+            if live.installed() is self.bus:
+                live.uninstall()
+            self.bus.close()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- endpoint backends ---------------------------------------------
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition: live registry, or the recorded one."""
+        if self.bus is not None:
+            telemetry = live.attached_telemetry()
+            if telemetry is not None:
+                # The sim thread may be registering new instruments
+                # while we render; one retry absorbs the race without
+                # locking the hot path.
+                for _ in range(3):
+                    try:
+                        return prometheus_text(telemetry.registry)
+                    except RuntimeError:
+                        continue
+            if self.telemetry_dir is None:
+                return "# no simulation attached yet\n"
+        parts = []
+        for info in self.runs():
+            path = f"{info.path}/{METRICS_TEXT_FILE}"
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    parts.append(fh.read())
+            except OSError:
+                continue
+        return "".join(parts) or "# no recorded metrics\n"
+
+    def runs(self):
+        """Catalog of recorded runs (empty in pure live mode)."""
+        if self.telemetry_dir is None:
+            return []
+        return catalog.scan_runs(self.telemetry_dir)
+
+    def find_run(self, run_id: str):
+        """Look up a recorded run by id (``"latest"`` works too)."""
+        if self.telemetry_dir is None:
+            return None
+        return catalog.find_run(self.telemetry_dir, run_id)
+
+    def stream_live(self, wfile) -> None:
+        """Pump the bus subscription to one SSE client until it drops."""
+        sub = self.bus.subscribe()
+        try:
+            while not self._stopping.is_set():
+                record = sub.get(timeout=KEEPALIVE_S)
+                if record is None:
+                    if sub.closed:
+                        break
+                    wfile.write(b": keepalive\n\n")
+                    wfile.flush()
+                    continue
+                event = record.get("type", "message")
+                wfile.write(sse_format(event, record).encode("utf-8"))
+                wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass
+        finally:
+            self.bus.unsubscribe(sub)
+
+    def stream_replay(self, wfile, run_id: str, speed: float) -> None:
+        """Re-stream a recorded run's trace as SSE.
+
+        ``speed`` is simulated-ms per wall-ms: ``10`` replays a minute
+        of sim time in six wall seconds; ``0`` (the default, and what
+        CI uses) dumps all frames immediately.  Pacing follows the
+        records' own sim-time deltas.
+        """
+        info = self.find_run(run_id)
+        if info is None:
+            wfile.write(sse_format(
+                "error", {"error": f"no run {run_id!r}"}).encode("utf-8"))
+            wfile.flush()
+            return
+        wfile.write(sse_format(
+            "run_start", {"type": "run_start", "meta": info.meta,
+                          "run": info.run_id}).encode("utf-8"))
+        prev_t: Optional[float] = None
+        count = 0
+        try:
+            for record in catalog.iter_trace(
+                    f"{info.path}/trace.jsonl"):
+                t = record.get("t")
+                if (speed > 0 and isinstance(t, (int, float))
+                        and prev_t is not None and t > prev_t):
+                    time.sleep(min((t - prev_t) / 1000.0 / speed,
+                                   MAX_REPLAY_SLEEP_S))
+                if isinstance(t, (int, float)):
+                    prev_t = float(t)
+                wfile.write(sse_format(
+                    "trace", {"type": "trace", "record": record}
+                ).encode("utf-8"))
+                count += 1
+                if count % 100 == 0:
+                    wfile.flush()
+                if self._stopping.is_set():
+                    break
+            wfile.write(sse_format(
+                "end", {"type": "end", "records": count}).encode("utf-8"))
+            wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass

@@ -4,26 +4,36 @@ Each record is a plain dict with at least ``kind`` (the record type) and
 ``t`` (simulated milliseconds).  Records are buffered in memory in emit
 order — nothing is written to disk until an exporter runs, so emitting
 never perturbs event ordering, RNG streams, or the wall clock.
+
+An optional ``listener`` callable (the live-streaming tee, see
+:mod:`repro.telemetry.live`) observes each record as it is emitted.  It
+follows the same ``None``-attribute discipline as the rest of the
+telemetry layer: ``None`` by default, one attribute check per emit, and
+listeners must never mutate the record or touch simulation state.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 
 class TraceLog:
     """Append-only buffer of structured trace records."""
 
-    __slots__ = ("records",)
+    __slots__ = ("records", "listener")
 
     def __init__(self):
         self.records: List[Dict] = []
+        #: Observer of each emitted record; None when not streaming.
+        self.listener: Optional[Callable[[Dict], None]] = None
 
     def emit(self, kind: str, t: float, **fields) -> None:
         """Record an event of ``kind`` at simulated time ``t`` (ms)."""
         record = {"kind": kind, "t": t}
         record.update(fields)
         self.records.append(record)
+        if self.listener is not None:
+            self.listener(record)
 
     def __len__(self) -> int:
         return len(self.records)

@@ -9,12 +9,29 @@ def test_parser_knows_all_commands():
     parser = build_parser()
     commands = {"table1", "figure2", "table2", "multiclass",
                 "overhead", "resilience", "scaling", "all", "demo",
-                "chaos", "validate-analytic"}
+                "chaos", "validate-analytic", "serve"}
     for command in commands:
         args = parser.parse_args(
             [command] + (["--quick"] if command == "all" else [])
         )
         assert callable(args.func)
+
+
+def test_serve_defaults():
+    args = build_parser().parse_args(["serve"])
+    assert args.telemetry_dir == "telemetry-out"
+    assert args.port == 8799
+    assert args.host == "127.0.0.1"
+    assert args.once is False
+
+
+def test_live_port_flag_on_streaming_commands():
+    for command in ("figure2", "multiclass", "resilience", "chaos"):
+        args = build_parser().parse_args([command])
+        # Off by default: no service, no bus, bit-identical runs.
+        assert args.live_port is None
+        args = build_parser().parse_args([command, "--live-port", "0"])
+        assert args.live_port == 0
 
 
 def test_validate_analytic_defaults():
@@ -117,6 +134,21 @@ def test_resilience_runs_end_to_end(capsys, tmp_path):
     assert "Resilience: recovery per injected fault" in out
     assert "all crashes reattained:" in out
     assert csv.exists()
+
+
+def test_serve_once_runs_end_to_end(capsys, tmp_path):
+    import json
+
+    run = tmp_path / "run"
+    run.mkdir()
+    (run / "trace.jsonl").write_text(
+        json.dumps({"kind": "interval", "t": 1000.0}) + "\n"
+    )
+    main(["serve", "--telemetry-dir", str(tmp_path), "--port", "0",
+          "--once"])
+    out = capsys.readouterr().out
+    assert "serving 1 recorded run(s)" in out
+    assert "dashboard: http://127.0.0.1:" in out
 
 
 def test_resilience_rejects_malformed_fault_spec():

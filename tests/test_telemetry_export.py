@@ -13,6 +13,8 @@ The non-negotiable invariants of the telemetry layer:
 import json
 import os
 
+import pytest
+
 import repro.telemetry as telemetry_mod
 from repro.telemetry.exporters import (
     METRICS_JSON_FILE,
@@ -174,3 +176,82 @@ def test_event_pool_gauges_exported(tmp_path):
     assert "repro_event_pool_recycled" in found
     # Any real run recycles timeouts, so the high-water mark is live.
     assert found["repro_event_pool_high_water"] > 0
+
+
+# -- merge_point_dirs ordering and resilience --------------------------
+
+
+def _point_dir(tmp_path, name, records):
+    point = tmp_path / name
+    point.mkdir()
+    with open(point / TRACE_FILE, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return str(point)
+
+
+def test_merge_sorts_by_time_then_point_then_sequence(tmp_path):
+    """The documented merge order: (sim-time, point position, emit
+    sequence), stable across runners."""
+    from repro.telemetry.exporters import merge_point_dirs
+
+    a = _point_dir(tmp_path, "a", [
+        {"kind": "interval", "t": 2000.0},
+        {"kind": "decision", "t": 2000.0, "seq_marker": "a-second"},
+        {"kind": "interval", "t": 4000.0},
+    ])
+    b = _point_dir(tmp_path, "b", [
+        {"kind": "interval", "t": 1000.0},
+        {"kind": "interval", "t": 2000.0},
+    ])
+    outdir = str(tmp_path / "merged")
+    paths = merge_point_dirs(outdir, [("a", a), ("b", b)])
+    with open(paths["trace"], "r", encoding="utf-8") as fh:
+        merged = [json.loads(line) for line in fh]
+    assert [(r["t"], r["point"]) for r in merged] == [
+        (1000.0, "b"),            # earliest sim-time wins
+        (2000.0, "a"),            # tie at t=2000: point order a < b...
+        (2000.0, "a"),            # ...then a's own emit sequence
+        (2000.0, "b"),
+        (4000.0, "a"),
+    ]
+    assert merged[2]["seq_marker"] == "a-second"
+
+
+def test_merge_skips_missing_point_dir_with_warning(tmp_path):
+    from repro.telemetry.exporters import merge_point_dirs
+
+    a = _point_dir(tmp_path, "a", [{"kind": "interval", "t": 1.0}])
+    missing = str(tmp_path / "never-written")
+    outdir = str(tmp_path / "merged")
+    with pytest.warns(RuntimeWarning, match="killed sweep"):
+        paths = merge_point_dirs(
+            outdir, [("a", a), ("gone", missing)]
+        )
+    with open(paths["manifest"], "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    assert manifest[0]["records"] == 1 and "skipped" not in manifest[0]
+    assert manifest[1]["skipped"] == "missing trace.jsonl"
+    with open(paths["trace"], "r", encoding="utf-8") as fh:
+        assert len(fh.readlines()) == 1
+
+
+def test_merge_skips_torn_trace_with_warning(tmp_path):
+    from repro.telemetry.exporters import merge_point_dirs
+
+    a = _point_dir(tmp_path, "a", [{"kind": "interval", "t": 1.0}])
+    torn = tmp_path / "torn"
+    torn.mkdir()
+    (torn / TRACE_FILE).write_text(
+        json.dumps({"kind": "interval", "t": 2.0}) + "\n"
+        + '{"kind": "interval", "t": 3'  # killed mid-line
+    )
+    outdir = str(tmp_path / "merged")
+    with pytest.warns(RuntimeWarning, match="unparsable"):
+        paths = merge_point_dirs(
+            outdir, [("a", a), ("torn", str(torn))]
+        )
+    with open(paths["trace"], "r", encoding="utf-8") as fh:
+        merged = [json.loads(line) for line in fh]
+    # The torn point is dropped whole; the healthy one survives.
+    assert [r["point"] for r in merged] == ["a"]
